@@ -1,0 +1,127 @@
+// Reproduces paper Fig. 7: visualization of the learned hypergraph
+// incidence matrix Λ (Eq. 6) on SynPEMS08 at horizon-window time steps
+// 1, 6 and 12. Prints a signed text heatmap of an 8-node x 8-hyperedge
+// submatrix per step, plus the evolution statistics the paper discusses
+// (node-hyperedge affinities change over time; some hyperedges act like
+// global aggregators).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/data/io.h"
+
+namespace dyhsl::bench {
+namespace {
+
+char Glyph(float v, float scale) {
+  // Signed intensity ramp: negatives '-=%', positives '+*@'.
+  float a = std::fabs(v) / scale;
+  if (a < 0.15f) return '.';
+  if (v > 0) return a < 0.45f ? '+' : (a < 0.8f ? '*' : '@');
+  return a < 0.45f ? '-' : (a < 0.8f ? '=' : '%');
+}
+
+int Main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeaderLine("Fig. 7: learned incidence matrix across time", env);
+
+  data::TrafficDataset ds = MakeDataset("SynPEMS08", env);
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = env.zoo_config.hidden_dim;
+  cfg.prior_layers = 3;
+  cfg.mhce_layers = 2;
+  cfg.num_hyperedges = 8;
+  cfg.seed = env.zoo_config.seed;
+  models::DyHsl model(task, cfg);
+  train::TrainModel(&model, ds, env.train_config);
+
+  // One test window -> Λ (1, T*N, I).
+  data::BatchIterator it(&ds, {ds.test_range().begin,
+                               ds.test_range().begin + 1},
+                         1, false, 1);
+  data::BatchIterator::Batch batch;
+  it.Next(&batch);
+  tensor::Tensor incidence = model.IncidenceFor(batch.x);
+  int64_t n = ds.num_nodes();
+  int64_t num_edges = cfg.num_hyperedges;
+  int64_t show_nodes = std::min<int64_t>(8, n);
+
+  float scale = 0.0f;
+  for (int64_t i = 0; i < incidence.numel(); ++i) {
+    scale = std::max(scale, std::fabs(incidence.data()[i]));
+  }
+  if (scale <= 0) scale = 1.0f;
+
+  std::vector<int64_t> steps = {0, 5, 11};  // paper's steps 1, 6, 12
+  for (int64_t t : steps) {
+    std::printf("Time step %lld (submatrix: %lld nodes x %lld hyperedges)\n",
+                static_cast<long long>(t + 1),
+                static_cast<long long>(show_nodes),
+                static_cast<long long>(num_edges));
+    std::printf("        ");
+    for (int64_t e = 0; e < num_edges; ++e) {
+      std::printf("E%-2lld ", static_cast<long long>(e));
+    }
+    std::printf("\n");
+    for (int64_t v = 0; v < show_nodes; ++v) {
+      std::printf("  N%-3lld  ", static_cast<long long>(v));
+      for (int64_t e = 0; e < num_edges; ++e) {
+        float val = incidence.At({0, t * n + v, e});
+        std::printf(" %c  ", Glyph(val, scale));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Quantitative counterparts of the paper's qualitative claims.
+  // 1) Affinities evolve over time: mean |Λ_t1 - Λ_t12| vs mean |Λ|.
+  double drift = 0.0, mag = 0.0;
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t e = 0; e < num_edges; ++e) {
+      float a = incidence.At({0, 0 * n + v, e});
+      float b = incidence.At({0, 11 * n + v, e});
+      drift += std::fabs(a - b);
+      mag += 0.5 * (std::fabs(a) + std::fabs(b));
+    }
+  }
+  std::printf("Temporal drift of node-hyperedge affinity: "
+              "mean|Λ(t1)-Λ(t12)| / mean|Λ| = %.2f\n",
+              drift / std::max(mag, 1e-9));
+  // 2) Hyperedge roles: breadth (fraction of nodes with strong affinity).
+  std::printf("Hyperedge breadth at t=12 (fraction of nodes with |Λ| > "
+              "0.3 max):\n  ");
+  for (int64_t e = 0; e < num_edges; ++e) {
+    int64_t strong = 0;
+    for (int64_t v = 0; v < n; ++v) {
+      if (std::fabs(incidence.At({0, 11 * n + v, e})) > 0.3f * scale) {
+        ++strong;
+      }
+    }
+    std::printf("E%lld=%.2f  ", static_cast<long long>(e),
+                static_cast<double>(strong) / n);
+  }
+  std::printf("\n");
+
+  // Full matrix for external plotting.
+  tensor::Tensor flat = incidence.Reshape({task.history * n, num_edges});
+  if (data::SaveCsv(flat, "fig7_incidence.csv").ok()) {
+    std::printf("Full Λ written to fig7_incidence.csv (rows = t*N + node)\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): different nodes bind to different\n"
+      "hyperedges; affinities drift across the 12 steps (nodes 'leave' and\n"
+      "'join' hyperedges); some hyperedges connect most nodes (global\n"
+      "aggregator role) while others are selective with signed weights\n"
+      "(convolution-like role).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dyhsl::bench
+
+int main() { return dyhsl::bench::Main(); }

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the tensor/sparse kernels that
+// dominate DyHSL training time: dense matmul, batched matmul, SpMM over
+// temporal graphs, elementwise chains, and hypergraph-style products.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/rng.h"
+#include "src/graph/temporal_graph.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  T::Tensor a = T::Tensor::Randn({n, n}, &rng);
+  T::Tensor b = T::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedMatMulSharedRhs(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  Rng rng(2);
+  T::Tensor a = T::Tensor::Randn({16, rows, 32}, &rng);
+  T::Tensor w = T::Tensor::Randn({32, 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::BatchedMatMul(a, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * rows * 32 * 32);
+}
+BENCHMARK(BM_BatchedMatMulSharedRhs)->Arg(256)->Arg(1024);
+
+// SpMM over the Eq. 4 temporal graph: the prior-encoder hot loop.
+void BM_TemporalGraphSpMM(benchmark::State& state) {
+  int64_t n = state.range(0);
+  // Ring road network, T = 12 steps.
+  std::vector<T::Triplet> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, 1.0f});
+    edges.push_back({(i + 1) % n, i, 1.0f});
+  }
+  auto spatial = T::CsrMatrix::FromTriplets(n, n, std::move(edges));
+  auto op = graph::BuildNormalizedTemporalOp(spatial, 12);
+  Rng rng(3);
+  T::Tensor x = T::Tensor::Randn({16, 12 * n, 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::SpMM(op->forward, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * op->forward.nnz() * 32);
+}
+BENCHMARK(BM_TemporalGraphSpMM)->Arg(64)->Arg(256);
+
+// The DHSL block's algebra: Λ = H W; E = ΛᵀH; F = Λ E.
+void BM_HypergraphProducts(benchmark::State& state) {
+  int64_t rows = state.range(0);
+  constexpr int64_t kDim = 32, kEdges = 16;
+  Rng rng(4);
+  T::Tensor h = T::Tensor::Randn({8, rows, kDim}, &rng);
+  T::Tensor w = T::Tensor::Randn({kDim, kEdges}, &rng);
+  for (auto _ : state) {
+    T::Tensor inc = T::BatchedMatMul(h, w);                  // Λ
+    T::Tensor e = T::BatchedMatMul(inc, h, true, false);     // ΛᵀH
+    benchmark::DoNotOptimize(T::BatchedMatMul(inc, e));      // ΛE
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * rows * kDim * kEdges);
+}
+BENCHMARK(BM_HypergraphProducts)->Arg(384)->Arg(1536);
+
+void BM_ElementwiseChain(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(5);
+  T::Tensor a = T::Tensor::Randn({n}, &rng);
+  T::Tensor b = T::Tensor::Randn({n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::Relu(T::Add(T::Mul(a, b), b)));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3);
+}
+BENCHMARK(BM_ElementwiseChain)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MaxPoolTime(benchmark::State& state) {
+  Rng rng(6);
+  T::Tensor x = T::Tensor::Randn({16, 12, state.range(0), 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MaxPoolAxis(x, 1, 3));
+  }
+}
+BENCHMARK(BM_MaxPoolTime)->Arg(64)->Arg(256);
+
+void BM_Conv1dDilated(benchmark::State& state) {
+  Rng rng(7);
+  T::Tensor x = T::Tensor::Randn({state.range(0), 32, 12}, &rng);
+  T::Tensor w = T::Tensor::Randn({32, 32, 2}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::Conv1d(x, w, 2, 2, 0));
+  }
+}
+BENCHMARK(BM_Conv1dDilated)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace dyhsl
+
+BENCHMARK_MAIN();

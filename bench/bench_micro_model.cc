@@ -1,0 +1,121 @@
+// google-benchmark suite validating the paper's section IV-D complexity
+// claim: DyHSL's forward+backward cost grows linearly with the network
+// size ||A||_0 (ring roads of increasing N) and with the observation
+// length T. Also measures forward latency of DyHSL next to two baselines.
+
+#include <benchmark/benchmark.h>
+
+#include "src/autograd/ops.h"
+#include "src/data/dataset.h"
+#include "src/models/dyhsl.h"
+#include "src/train/model_zoo.h"
+
+namespace dyhsl {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+// Synthetic task over a ring road of n sensors, without a full dataset.
+train::ForecastTask RingTask(int64_t n, int64_t history) {
+  std::vector<T::Triplet> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, 1.0f});
+    edges.push_back({(i + 1) % n, i, 1.0f});
+  }
+  train::ForecastTask task;
+  task.num_nodes = n;
+  task.input_dim = 3;
+  task.history = history;
+  task.horizon = 12;
+  task.scaler_mean = 200.0f;
+  task.scaler_std = 80.0f;
+  task.spatial_adj = T::CsrMatrix::FromTriplets(n, n, std::move(edges));
+  task.district_labels.assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) task.district_labels[i] = i % 4;
+  return task;
+}
+
+models::DyHslConfig SmallConfig() {
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.prior_layers = 2;
+  cfg.mhce_layers = 1;
+  cfg.num_hyperedges = 8;
+  cfg.window_sizes = {1, 3, 12};
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+// Linear scaling in the number of nodes (||A||_0 proportional to N here).
+void BM_DyHslForwardBackward_Nodes(benchmark::State& state) {
+  int64_t n = state.range(0);
+  train::ForecastTask task = RingTask(n, 12);
+  models::DyHsl model(task, SmallConfig());
+  Rng rng(1);
+  T::Tensor x = T::Tensor::Randn({4, 12, n, 3}, &rng, 0.5f);
+  for (auto _ : state) {
+    autograd::Variable out = model.Forward(x, /*training=*/true);
+    autograd::Variable loss = autograd::MeanAll(out);
+    loss.Backward();
+    for (auto& p : model.Parameters()) p.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["nodes"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DyHslForwardBackward_Nodes)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Linear scaling in the observation length T (window sizes fixed to
+// divisors of every tested T).
+void BM_DyHslForwardBackward_History(benchmark::State& state) {
+  int64_t t_in = state.range(0);
+  train::ForecastTask task = RingTask(48, t_in);
+  models::DyHslConfig cfg = SmallConfig();
+  cfg.window_sizes = {1, t_in / 2, t_in};
+  models::DyHsl model(task, cfg);
+  Rng rng(2);
+  T::Tensor x = T::Tensor::Randn({4, t_in, 48, 3}, &rng, 0.5f);
+  for (auto _ : state) {
+    autograd::Variable out = model.Forward(x, /*training=*/true);
+    autograd::Variable loss = autograd::MeanAll(out);
+    loss.Backward();
+    for (auto& p : model.Parameters()) p.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data()[0]);
+  }
+  state.counters["T"] = static_cast<double>(t_in);
+}
+BENCHMARK(BM_DyHslForwardBackward_History)
+    ->Arg(6)
+    ->Arg(12)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+// Inference latency: DyHSL vs representative baselines at equal size.
+template <const char* kKey>
+void BM_ModelForward(benchmark::State& state) {
+  train::ForecastTask task = RingTask(64, 12);
+  train::ZooConfig zoo;
+  zoo.hidden_dim = 16;
+  auto model = train::MakeNeuralModel(kKey, task, zoo);
+  Rng rng(3);
+  T::Tensor x = T::Tensor::Randn({4, 12, 64, 3}, &rng, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->Forward(x, /*training=*/false).value().data()[0]);
+  }
+}
+constexpr char kDyHsl[] = "DyHSL";
+constexpr char kStgode[] = "STGODE";
+constexpr char kAgcrn[] = "AGCRN";
+BENCHMARK_TEMPLATE(BM_ModelForward, kDyHsl)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ModelForward, kStgode)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_ModelForward, kAgcrn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyhsl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Accident-event scenario (the paper's Fig. 1 motivation): a car accident
+// suppresses flow in a spreading graph neighborhood; this example shows
+// how forecast quality around simulated incidents compares between DyHSL
+// (dynamic hypergraph) and a purely pairwise graph baseline (DCRNN).
+//
+// It measures MAE restricted to (sensor, step) pairs inside event impact
+// zones versus the rest, i.e. exactly where dynamic non-pairwise structure
+// should matter.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/profile.h"
+#include "src/data/dataset.h"
+#include "src/data/road_network_gen.h"
+#include "src/metrics/metrics.h"
+#include "src/train/model_zoo.h"
+#include "src/train/trainer.h"
+
+namespace {
+
+using namespace dyhsl;
+
+// Marks (step, node) cells affected by any event (same spreading rule as
+// the simulator).
+std::vector<bool> EventMask(const data::TrafficDataset& ds) {
+  int64_t steps = ds.num_steps();
+  int64_t n = ds.num_nodes();
+  std::vector<bool> mask(steps * n, false);
+  for (const data::TrafficEvent& e : ds.traffic().events) {
+    std::vector<int64_t> hops =
+        data::HopDistances(ds.network().graph, e.epicenter);
+    for (int64_t i = 0; i < n; ++i) {
+      if (hops[i] < 0 || hops[i] > e.radius_hops) continue;
+      int64_t start = e.start_step + hops[i] * 2;
+      int64_t end = std::min(steps, start + e.duration_steps);
+      for (int64_t s = std::max<int64_t>(0, start); s < end; ++s) {
+        mask[s * n + i] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+struct SplitMae {
+  metrics::MetricAccumulator in_event;
+  metrics::MetricAccumulator elsewhere;
+};
+
+SplitMae EvaluateAroundEvents(train::ForecastModel* model,
+                              const data::TrafficDataset& ds,
+                              const std::vector<bool>& mask,
+                              int64_t max_batches) {
+  SplitMae result;
+  data::BatchIterator it(&ds, ds.test_range(), 16, /*shuffle=*/false, 1);
+  data::BatchIterator::Batch batch;
+  int64_t batches = 0;
+  while (it.Next(&batch) && batches++ < max_batches) {
+    autograd::Variable pred = model->Forward(batch.x, false);
+    for (int64_t b = 0; b < batch.x.size(0); ++b) {
+      int64_t t0 = batch.window_starts[b];
+      for (int64_t t = 0; t < ds.horizon(); ++t) {
+        int64_t step = t0 + ds.history() + t;
+        for (int64_t i = 0; i < ds.num_nodes(); ++i) {
+          float p = pred.value().At({b, t, i});
+          float y = batch.y.At({b, t, i});
+          if (mask[step * ds.num_nodes() + i]) {
+            result.in_event.AddValue(p, y);
+          } else {
+            result.elsewhere.AddValue(p, y);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  ConfigureParallelism();
+  ProfileKnobs knobs = GetProfileKnobs(GetRunProfile());
+
+  // Dataset with a deliberately incident-heavy test period.
+  data::DatasetSpec spec =
+      data::DatasetSpec::Pems04Like(knobs.node_scale, knobs.sim_days);
+  spec.sim.events_per_day = 8.0f;
+  data::TrafficDataset ds = data::TrafficDataset::Generate(spec);
+  std::vector<bool> mask = EventMask(ds);
+  int64_t affected = 0;
+  for (bool b : mask) affected += b;
+  std::printf("SynPEMS04 with %zu incidents; %.1f%% of readings inside an "
+              "impact zone\n\n",
+              ds.traffic().events.size(),
+              100.0 * affected / static_cast<double>(mask.size()));
+
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  train::ZooConfig zoo;
+  zoo.hidden_dim = knobs.hidden_dim;
+  train::TrainConfig tc;
+  tc.epochs = knobs.train_epochs;
+  tc.batch_size = knobs.batch_size;
+  tc.max_batches_per_epoch = knobs.max_batches_per_epoch;
+  tc.learning_rate = 2e-3f;
+
+  std::printf("%-14s %16s %16s %10s\n", "Model", "MAE in events",
+              "MAE elsewhere", "gap");
+  for (const char* key : {"DCRNN", "DyHSL"}) {
+    auto model = train::MakeNeuralModel(key, task, zoo);
+    train::TrainModel(model.get(), ds, tc);
+    SplitMae split = EvaluateAroundEvents(model.get(), ds, mask, 16);
+    std::printf("%-14s %16.2f %16.2f %9.2f%%\n", key,
+                split.in_event.Mae(), split.elsewhere.Mae(),
+                100.0 * (split.in_event.Mae() / split.elsewhere.Mae() - 1.0));
+  }
+  std::printf(
+      "\nReading: both models degrade inside event zones (events are rare\n"
+      "and abrupt); the dynamic-hypergraph model should show the smaller\n"
+      "event penalty, mirroring the paper's Table VI discussion of MAPE\n"
+      "under sudden external events.\n");
+  return 0;
+}

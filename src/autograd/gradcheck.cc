@@ -1,0 +1,49 @@
+#include "src/autograd/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace dyhsl::autograd {
+
+GradCheckReport GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable> inputs, float eps, float tolerance) {
+  // Analytic pass.
+  for (Variable& v : inputs) v.ZeroGrad();
+  Variable out = f(inputs);
+  DYHSL_CHECK_EQ(out.numel(), 1);
+  out.Backward();
+
+  std::vector<tensor::Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const Variable& v : inputs) {
+    DYHSL_CHECK_MSG(v.has_grad(), "input did not receive a gradient");
+    analytic.push_back(v.grad().Clone());
+  }
+
+  GradCheckReport report;
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Variable& v = inputs[vi];
+    float* data = v.mutable_value()->data();
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      float saved = data[i];
+      data[i] = saved + eps;
+      float plus = f(inputs).value().data()[0];
+      data[i] = saved - eps;
+      float minus = f(inputs).value().data()[0];
+      data[i] = saved;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float a = analytic[vi].data()[i];
+      float abs_err = std::fabs(a - numeric);
+      float rel_err = abs_err / std::max(1.0f, std::fabs(numeric));
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+      report.max_rel_error = std::max(report.max_rel_error, rel_err);
+    }
+  }
+  report.ok = report.max_rel_error <= tolerance;
+  return report;
+}
+
+}  // namespace dyhsl::autograd

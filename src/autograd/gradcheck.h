@@ -1,0 +1,35 @@
+// Numerical gradient checking for differentiable ops and whole models.
+
+#ifndef DYHSL_AUTOGRAD_GRADCHECK_H_
+#define DYHSL_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace dyhsl::autograd {
+
+/// \brief Outcome of a gradient check.
+struct GradCheckReport {
+  /// Largest |analytic - numeric| across all checked coordinates.
+  float max_abs_error = 0.0f;
+  /// Largest |analytic - numeric| / max(1, |numeric|).
+  float max_rel_error = 0.0f;
+  /// True when max_rel_error <= tolerance.
+  bool ok = false;
+};
+
+/// \brief Compares the analytic gradient of `f` (a scalar-valued function of
+/// `inputs`) against central finite differences.
+///
+/// `f` must be deterministic and must use the provided inputs (same nodes)
+/// so the tape reaches them. Float32 arithmetic limits achievable accuracy;
+/// eps around 1e-2 with tolerance 5e-2 is appropriate for composite ops.
+GradCheckReport GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    std::vector<Variable> inputs, float eps = 1e-2f, float tolerance = 5e-2f);
+
+}  // namespace dyhsl::autograd
+
+#endif  // DYHSL_AUTOGRAD_GRADCHECK_H_

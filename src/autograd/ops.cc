@@ -1,0 +1,410 @@
+#include "src/autograd/ops.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/tensor/ops.h"
+
+namespace dyhsl::autograd {
+
+namespace T = ::dyhsl::tensor;
+
+namespace {
+
+// Accumulates `g` into parent i of `node` after reducing broadcast axes.
+void AccumulateBroadcast(Node* node, size_t i, const T::Tensor& g) {
+  Node* parent = node->parents[i].get();
+  if (!parent->requires_grad) return;
+  parent->AccumulateGrad(T::ReduceToShape(g, parent->value.shape()));
+}
+
+void Accumulate(Node* node, size_t i, const T::Tensor& g) {
+  Node* parent = node->parents[i].get();
+  if (!parent->requires_grad) return;
+  parent->AccumulateGrad(g);
+}
+
+bool ParentNeedsGrad(Node* node, size_t i) {
+  return node->parents[i]->requires_grad;
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOpResult(T::Add(a.value(), b.value()), {a, b}, [](Node* n) {
+    AccumulateBroadcast(n, 0, n->grad);
+    AccumulateBroadcast(n, 1, n->grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOpResult(T::Sub(a.value(), b.value()), {a, b}, [](Node* n) {
+    AccumulateBroadcast(n, 0, n->grad);
+    AccumulateBroadcast(n, 1, T::Neg(n->grad));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  T::Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(T::Mul(av, bv), {a, b}, [av, bv](Node* n) {
+    AccumulateBroadcast(n, 0, T::Mul(n->grad, bv));
+    AccumulateBroadcast(n, 1, T::Mul(n->grad, av));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  T::Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(T::Div(av, bv), {a, b}, [av, bv](Node* n) {
+    AccumulateBroadcast(n, 0, T::Div(n->grad, bv));
+    // d/db (a/b) = -a / b^2
+    T::Tensor gb = T::Neg(T::Div(T::Mul(n->grad, av), T::Mul(bv, bv)));
+    AccumulateBroadcast(n, 1, gb);
+  });
+}
+
+Variable Maximum(const Variable& a, const Variable& b) {
+  T::Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(T::Maximum(av, bv), {a, b}, [av, bv](Node* n) {
+    // mask = 1 where a >= b (broadcast over the output shape).
+    T::Tensor mask = T::Heaviside(T::AddScalar(T::Sub(av, bv), 1e-30f));
+    AccumulateBroadcast(n, 0, T::Mul(n->grad, mask));
+    AccumulateBroadcast(
+        n, 1, T::Mul(n->grad, T::AddScalar(T::Neg(mask), 1.0f)));
+  });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  return MakeOpResult(T::AddScalar(a.value(), s), {a},
+                      [](Node* n) { Accumulate(n, 0, n->grad); });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  return MakeOpResult(T::MulScalar(a.value(), s), {a}, [s](Node* n) {
+    Accumulate(n, 0, T::MulScalar(n->grad, s));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Relu(const Variable& a) {
+  T::Tensor av = a.value();
+  return MakeOpResult(T::Relu(av), {a}, [av](Node* n) {
+    Accumulate(n, 0, T::Mul(n->grad, T::Heaviside(av)));
+  });
+}
+
+Variable LeakyRelu(const Variable& a, float slope) {
+  T::Tensor av = a.value();
+  return MakeOpResult(T::LeakyRelu(av, slope), {a}, [av, slope](Node* n) {
+    T::Tensor mask = T::Heaviside(av);  // 1 where x > 0
+    // grad * (mask + slope * (1 - mask))
+    T::Tensor scale = T::AddScalar(T::MulScalar(mask, 1.0f - slope), slope);
+    Accumulate(n, 0, T::Mul(n->grad, scale));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  T::Tensor y = T::Sigmoid(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    // y * (1 - y)
+    T::Tensor dy = T::Mul(y, T::AddScalar(T::Neg(y), 1.0f));
+    Accumulate(n, 0, T::Mul(n->grad, dy));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  T::Tensor y = T::Tanh(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    T::Tensor dy = T::AddScalar(T::Neg(T::Mul(y, y)), 1.0f);  // 1 - y^2
+    Accumulate(n, 0, T::Mul(n->grad, dy));
+  });
+}
+
+Variable Exp(const Variable& a) {
+  T::Tensor y = T::Exp(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    Accumulate(n, 0, T::Mul(n->grad, y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  T::Tensor av = a.value();
+  return MakeOpResult(T::Log(av), {a}, [av](Node* n) {
+    Accumulate(n, 0, T::Div(n->grad, av));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  T::Tensor y = T::Sqrt(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    Accumulate(n, 0, T::Div(T::MulScalar(n->grad, 0.5f), y));
+  });
+}
+
+Variable Abs(const Variable& a) {
+  T::Tensor av = a.value();
+  return MakeOpResult(T::Abs(av), {a}, [av](Node* n) {
+    Accumulate(n, 0, T::Mul(n->grad, T::Sign(av)));
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
+                bool trans_b) {
+  T::Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(
+      T::MatMul(av, bv, trans_a, trans_b), {a, b},
+      [av, bv, trans_a, trans_b](Node* n) {
+        const T::Tensor& g = n->grad;
+        if (ParentNeedsGrad(n, 0)) {
+          T::Tensor ga = trans_a ? T::MatMul(bv, g, trans_b, true)
+                                 : T::MatMul(g, bv, false, !trans_b);
+          Accumulate(n, 0, ga);
+        }
+        if (ParentNeedsGrad(n, 1)) {
+          T::Tensor gb = trans_b ? T::MatMul(g, av, true, trans_a)
+                                 : T::MatMul(av, g, !trans_a, false);
+          Accumulate(n, 1, gb);
+        }
+      });
+}
+
+Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
+                       bool trans_b) {
+  T::Tensor av = a.value(), bv = b.value();
+  bool shared_b = bv.dim() == 2;
+  if (shared_b) {
+    DYHSL_CHECK_MSG(!trans_a,
+                    "BatchedMatMul with shared 2-D b requires trans_a=false");
+  }
+  return MakeOpResult(
+      T::BatchedMatMul(av, bv, trans_a, trans_b), {a, b},
+      [av, bv, trans_a, trans_b, shared_b](Node* n) {
+        const T::Tensor& g = n->grad;
+        if (ParentNeedsGrad(n, 0)) {
+          T::Tensor ga;
+          if (shared_b) {
+            // ga = g op(B)^T, shared across batch.
+            ga = T::BatchedMatMul(g, bv, false, !trans_b);
+          } else {
+            ga = trans_a ? T::BatchedMatMul(bv, g, trans_b, true)
+                         : T::BatchedMatMul(g, bv, false, !trans_b);
+          }
+          Accumulate(n, 0, ga);
+        }
+        if (ParentNeedsGrad(n, 1)) {
+          if (shared_b) {
+            // Fold the batch into rows: gb = sum_b op(A_b)^T G_b.
+            int64_t batch = av.size(0);
+            int64_t m = av.size(1), k = av.size(2);
+            int64_t ncols = g.size(2);
+            T::Tensor a2 = av.Reshape({batch * m, k});
+            T::Tensor g2 = g.Reshape({batch * m, ncols});
+            T::Tensor gb = trans_b ? T::MatMul(g2, a2, true, false)
+                                   : T::MatMul(a2, g2, true, false);
+            Accumulate(n, 1, gb);
+          } else {
+            T::Tensor gb = trans_b ? T::BatchedMatMul(g, av, true, trans_a)
+                                   : T::BatchedMatMul(av, g, !trans_a, false);
+            Accumulate(n, 1, gb);
+          }
+        }
+      });
+}
+
+Variable SpMM(const std::shared_ptr<tensor::SparseOp>& a, const Variable& x) {
+  T::Tensor y = T::SpMM(a->forward, x.value());
+  return MakeOpResult(y, {x}, [a](Node* n) {
+    Accumulate(n, 0, T::SpMM(a->transpose, n->grad));
+  });
+}
+
+Variable Reshape(const Variable& a, tensor::Shape new_shape) {
+  tensor::Shape old_shape = a.shape();
+  return MakeOpResult(a.value().Reshape(std::move(new_shape)), {a},
+                      [old_shape](Node* n) {
+                        Accumulate(n, 0, n->grad.Reshape(old_shape));
+                      });
+}
+
+Variable TransposePerm(const Variable& a, std::vector<int64_t> perm) {
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
+  return MakeOpResult(T::TransposePerm(a.value(), perm), {a},
+                      [inverse](Node* n) {
+                        Accumulate(n, 0, T::TransposePerm(n->grad, inverse));
+                      });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  DYHSL_CHECK(!parts.empty());
+  std::vector<T::Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  int64_t norm_axis = axis < 0 ? axis + parts[0].dim() : axis;
+  std::vector<int64_t> sizes;
+  sizes.reserve(parts.size());
+  for (const Variable& p : parts) sizes.push_back(p.size(norm_axis));
+  return MakeOpResult(T::Concat(values, norm_axis), parts,
+                      [norm_axis, sizes](Node* n) {
+                        int64_t offset = 0;
+                        for (size_t i = 0; i < sizes.size(); ++i) {
+                          if (ParentNeedsGrad(n, i)) {
+                            Accumulate(n, i,
+                                       T::Slice(n->grad, norm_axis, offset,
+                                                sizes[i]));
+                          }
+                          offset += sizes[i];
+                        }
+                      });
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start,
+               int64_t length) {
+  int64_t norm_axis = axis < 0 ? axis + a.dim() : axis;
+  tensor::Shape in_shape = a.shape();
+  return MakeOpResult(
+      T::Slice(a.value(), norm_axis, start, length), {a},
+      [norm_axis, start, in_shape](Node* n) {
+        if (!ParentNeedsGrad(n, 0)) return;
+        // Scatter the gradient slice back into a zero tensor of input shape.
+        T::Tensor gx = T::Tensor::Zeros(in_shape);
+        int64_t outer = 1;
+        for (int64_t d = 0; d < norm_axis; ++d) outer *= in_shape[d];
+        int64_t inner = 1;
+        for (int64_t d = norm_axis + 1;
+             d < static_cast<int64_t>(in_shape.size()); ++d) {
+          inner *= in_shape[d];
+        }
+        int64_t mid = in_shape[norm_axis];
+        int64_t len = n->grad.size(norm_axis);
+        const float* pg = n->grad.data();
+        float* px = gx.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          std::memcpy(px + (o * mid + start) * inner,
+                      pg + o * len * inner, len * inner * sizeof(float));
+        }
+        Accumulate(n, 0, gx);
+      });
+}
+
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& indices) {
+  tensor::Shape w_shape = weight.shape();
+  return MakeOpResult(T::TakeRows(weight.value(), indices), {weight},
+                      [indices, w_shape](Node* n) {
+                        if (!ParentNeedsGrad(n, 0)) return;
+                        T::Tensor gw = T::Tensor::Zeros(w_shape);
+                        T::ScatterAddRows(&gw, indices, n->grad);
+                        Accumulate(n, 0, gw);
+                      });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdims) {
+  int64_t norm_axis = axis < 0 ? axis + a.dim() : axis;
+  tensor::Shape in_shape = a.shape();
+  return MakeOpResult(
+      T::Sum(a.value(), norm_axis, keepdims), {a},
+      [norm_axis, keepdims, in_shape](Node* n) {
+        if (!ParentNeedsGrad(n, 0)) return;
+        // Expand grad along the reduced axis by broadcasting against zeros.
+        T::Tensor g = n->grad;
+        if (!keepdims) {
+          tensor::Shape keep_shape = in_shape;
+          keep_shape[norm_axis] = 1;
+          g = g.Reshape(keep_shape);
+        }
+        T::Tensor expanded = T::Add(T::Tensor::Zeros(in_shape), g);
+        Accumulate(n, 0, expanded);
+      });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdims) {
+  int64_t norm_axis = axis < 0 ? axis + a.dim() : axis;
+  float inv = 1.0f / static_cast<float>(a.size(norm_axis));
+  return MulScalar(Sum(a, norm_axis, keepdims), inv);
+}
+
+Variable SumAll(const Variable& a) {
+  tensor::Shape in_shape = a.shape();
+  T::Tensor value = T::Tensor::Scalar(T::SumAllScalar(a.value()));
+  return MakeOpResult(value, {a}, [in_shape](Node* n) {
+    if (!ParentNeedsGrad(n, 0)) return;
+    Accumulate(n, 0, T::Tensor::Full(in_shape, n->grad.data()[0]));
+  });
+}
+
+Variable MeanAll(const Variable& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Variable SoftmaxLastAxis(const Variable& a) {
+  T::Tensor y = T::SoftmaxLastAxis(a.value());
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    if (!ParentNeedsGrad(n, 0)) return;
+    // dx = y * (g - sum(g * y, last, keepdims))
+    T::Tensor gy = T::Mul(n->grad, y);
+    T::Tensor dot = T::Sum(gy, -1, /*keepdims=*/true);
+    Accumulate(n, 0, T::Mul(y, T::Sub(n->grad, dot)));
+  });
+}
+
+Variable MaxPoolAxis(const Variable& a, int64_t axis, int64_t window) {
+  int64_t norm_axis = axis < 0 ? axis + a.dim() : axis;
+  T::PoolResult pooled = T::MaxPoolAxis(a.value(), norm_axis, window);
+  tensor::Shape in_shape = a.shape();
+  auto argmax = std::make_shared<std::vector<int64_t>>(std::move(pooled.argmax));
+  return MakeOpResult(pooled.values, {a}, [argmax, in_shape](Node* n) {
+    if (!ParentNeedsGrad(n, 0)) return;
+    T::Tensor gx = T::Tensor::Zeros(in_shape);
+    const float* pg = n->grad.data();
+    float* px = gx.data();
+    for (size_t i = 0; i < argmax->size(); ++i) {
+      px[(*argmax)[i]] += pg[i];
+    }
+    Accumulate(n, 0, gx);
+  });
+}
+
+Variable Conv1d(const Variable& x, const Variable& w, int64_t dilation,
+                int64_t pad_left, int64_t pad_right) {
+  T::Tensor xv = x.value(), wv = w.value();
+  tensor::Shape x_shape = xv.shape(), w_shape = wv.shape();
+  return MakeOpResult(
+      T::Conv1d(xv, wv, dilation, pad_left, pad_right), {x, w},
+      [xv, wv, x_shape, w_shape, dilation, pad_left](Node* n) {
+        if (ParentNeedsGrad(n, 0)) {
+          Accumulate(n, 0, T::Conv1dBackwardInput(n->grad, wv, x_shape,
+                                                  dilation, pad_left));
+        }
+        if (ParentNeedsGrad(n, 1)) {
+          Accumulate(n, 1, T::Conv1dBackwardWeight(n->grad, xv, w_shape,
+                                                   dilation, pad_left));
+        }
+      });
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  DYHSL_CHECK_LT(p, 1.0f);
+  DYHSL_CHECK(rng != nullptr);
+  T::Tensor mask(a.shape());
+  float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  return MakeOpResult(T::Mul(a.value(), mask), {a}, [mask](Node* n) {
+    Accumulate(n, 0, T::Mul(n->grad, mask));
+  });
+}
+
+Variable MaeLoss(const Variable& pred, const Variable& target) {
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Variable MseLoss(const Variable& pred, const Variable& target) {
+  Variable diff = Sub(pred, target);
+  return MeanAll(Mul(diff, diff));
+}
+
+}  // namespace dyhsl::autograd

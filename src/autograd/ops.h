@@ -1,0 +1,105 @@
+// Differentiable operations over Variable.
+//
+// Each function computes its forward value with the eager kernels in
+// src/tensor and attaches a backward closure implementing the exact
+// vector-Jacobian product. Numerical gradient checks for every op live in
+// tests/autograd_test.cc.
+
+#ifndef DYHSL_AUTOGRAD_OPS_H_
+#define DYHSL_AUTOGRAD_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/core/rng.h"
+#include "src/tensor/sparse.h"
+
+namespace dyhsl::autograd {
+
+/// \name Elementwise binary (numpy broadcasting; gradients are reduced back
+/// to each operand's shape)
+/// @{
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+/// Elementwise max; the subgradient routes to the larger operand (ties: a).
+Variable Maximum(const Variable& a, const Variable& b);
+/// @}
+
+/// \name Scalar / unary
+/// @{
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable Neg(const Variable& a);
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float slope = 0.2f);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Abs(const Variable& a);
+/// @}
+
+/// \name Linear algebra
+/// @{
+
+/// \brief 2-D matmul with optional transposes.
+Variable MatMul(const Variable& a, const Variable& b, bool trans_a = false,
+                bool trans_b = false);
+
+/// \brief Batched matmul; `b` may be 2-D (shared across the batch; requires
+/// trans_a == false in that case).
+Variable BatchedMatMul(const Variable& a, const Variable& b,
+                       bool trans_a = false, bool trans_b = false);
+
+/// \brief Sparse constant matrix times dense variable: A X. X 2-D or 3-D
+/// batched. The sparse matrix carries no gradient.
+Variable SpMM(const std::shared_ptr<tensor::SparseOp>& a, const Variable& x);
+/// @}
+
+/// \name Movement
+/// @{
+Variable Reshape(const Variable& a, tensor::Shape new_shape);
+Variable TransposePerm(const Variable& a, std::vector<int64_t> perm);
+Variable Concat(const std::vector<Variable>& parts, int64_t axis);
+Variable Slice(const Variable& a, int64_t axis, int64_t start, int64_t length);
+/// \brief Embedding lookup: rows of `weight` (V x d) selected by `indices`.
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& indices);
+/// @}
+
+/// \name Reductions and normalization
+/// @{
+Variable Sum(const Variable& a, int64_t axis, bool keepdims = false);
+Variable Mean(const Variable& a, int64_t axis, bool keepdims = false);
+/// Sum of all elements -> shape {1}.
+Variable SumAll(const Variable& a);
+/// Mean of all elements -> shape {1}.
+Variable MeanAll(const Variable& a);
+Variable SoftmaxLastAxis(const Variable& a);
+/// @}
+
+/// \brief Non-overlapping max pool along `axis` (window divides the size).
+Variable MaxPoolAxis(const Variable& a, int64_t axis, int64_t window);
+
+/// \brief Dilated zero-padded 1-D convolution; x (B, Cin, L), w (Cout, Cin, K).
+Variable Conv1d(const Variable& x, const Variable& w, int64_t dilation = 1,
+                int64_t pad_left = 0, int64_t pad_right = 0);
+
+/// \brief Inverted dropout. Identity when !training or p == 0.
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+/// \name Losses
+/// @{
+/// Mean absolute error (the paper's training loss) -> scalar {1}.
+Variable MaeLoss(const Variable& pred, const Variable& target);
+/// Mean squared error -> scalar {1}.
+Variable MseLoss(const Variable& pred, const Variable& target);
+/// @}
+
+}  // namespace dyhsl::autograd
+
+#endif  // DYHSL_AUTOGRAD_OPS_H_

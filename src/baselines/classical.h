@@ -1,0 +1,127 @@
+// Classical (non-neural) forecasting baselines of paper Table III:
+// Historical Average, ARIMA, VAR and linear SVR.
+
+#ifndef DYHSL_BASELINES_CLASSICAL_H_
+#define DYHSL_BASELINES_CLASSICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/metrics/metrics.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::baselines {
+
+/// \brief A statistical model fitted once on the training split and queried
+/// per window (no gradient machinery involved).
+class ClassicalModel {
+ public:
+  virtual ~ClassicalModel() = default;
+
+  /// \brief Fits on the dataset's training range.
+  virtual void Fit(const data::TrafficDataset& dataset) = 0;
+
+  /// \brief Forecast (T', N) for the window starting at t0 (history is
+  /// steps [t0, t0 + T)).
+  virtual tensor::Tensor Predict(const data::TrafficDataset& dataset,
+                                 int64_t t0) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Historical Average: per-node mean by time-of-day bucket, split
+/// into weekday/weekend regimes when the training span covers both.
+class HistoricalAverage : public ClassicalModel {
+ public:
+  void Fit(const data::TrafficDataset& dataset) override;
+  tensor::Tensor Predict(const data::TrafficDataset& dataset,
+                         int64_t t0) override;
+  std::string name() const override { return "HA"; }
+
+ private:
+  int64_t steps_per_day_ = 288;
+  bool has_weekend_ = false;
+  // [regime][tod * N + node] means; regime 0 weekday, 1 weekend.
+  std::vector<std::vector<float>> bucket_mean_;
+};
+
+/// \brief Per-node ARIMA(p, 1, 0): AR(p) on first differences fitted by
+/// ridge least squares, forecast by recursive rollout.
+class Arima : public ClassicalModel {
+ public:
+  explicit Arima(int64_t ar_order = 3, float ridge = 1e-3f)
+      : ar_order_(ar_order), ridge_(ridge) {}
+  void Fit(const data::TrafficDataset& dataset) override;
+  tensor::Tensor Predict(const data::TrafficDataset& dataset,
+                         int64_t t0) override;
+  std::string name() const override { return "ARIMA"; }
+
+ private:
+  int64_t ar_order_;
+  float ridge_;
+  // Per node: AR coefficients (p) and intercept.
+  std::vector<std::vector<float>> coef_;
+  std::vector<float> intercept_;
+};
+
+/// \brief Vector Auto-Regression of order p with ridge regularization,
+/// fitted jointly over all sensors (captures linear spatial coupling).
+class Var : public ClassicalModel {
+ public:
+  explicit Var(int64_t order = 2, float ridge = 1e-1f)
+      : order_(order), ridge_(ridge) {}
+  void Fit(const data::TrafficDataset& dataset) override;
+  tensor::Tensor Predict(const data::TrafficDataset& dataset,
+                         int64_t t0) override;
+  std::string name() const override { return "VAR"; }
+
+ private:
+  int64_t order_ = 2;
+  float ridge_;
+  int64_t num_nodes_ = 0;
+  // Weight matrix ((N * p + 1) x N): column j predicts node j.
+  std::vector<float> weights_;
+  float train_mean_ = 0.0f;
+};
+
+/// \brief Linear support vector regression per horizon step: one shared
+/// linear map from the 12-lag window to each horizon, trained with the
+/// epsilon-insensitive loss by SGD (linear-kernel SVR).
+class LinearSvr : public ClassicalModel {
+ public:
+  explicit LinearSvr(float epsilon = 2.0f, float learning_rate = 1e-2f,
+                     int64_t epochs = 4, float l2 = 1e-4f)
+      : epsilon_(epsilon),
+        learning_rate_(learning_rate),
+        epochs_(epochs),
+        l2_(l2) {}
+  void Fit(const data::TrafficDataset& dataset) override;
+  tensor::Tensor Predict(const data::TrafficDataset& dataset,
+                         int64_t t0) override;
+  std::string name() const override { return "SVR"; }
+
+ private:
+  float epsilon_;
+  float learning_rate_;
+  int64_t epochs_;
+  float l2_;
+  int64_t history_ = 12;
+  int64_t horizon_ = 12;
+  // (history x horizon) weights + horizon intercepts, shared across nodes,
+  // operating on z-scored inputs.
+  std::vector<float> weights_;
+  std::vector<float> bias_;
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+};
+
+/// \brief Evaluates a fitted classical model over a window range.
+metrics::ForecastMetrics EvaluateClassical(
+    ClassicalModel* model, const data::TrafficDataset& dataset,
+    data::TrafficDataset::SplitRange range, int64_t max_windows = 0);
+
+}  // namespace dyhsl::baselines
+
+#endif  // DYHSL_BASELINES_CLASSICAL_H_

@@ -1,0 +1,463 @@
+#include "src/baselines/gnn_models.h"
+
+#include <cmath>
+
+#include "src/autograd/ops.h"
+#include "src/core/check.h"
+#include "src/graph/graph.h"
+#include "src/graph/temporal_graph.h"
+#include "src/nn/init.h"
+#include "src/tensor/ops.h"
+
+namespace dyhsl::baselines {
+
+namespace ag = ::dyhsl::autograd;
+namespace T = ::dyhsl::tensor;
+
+namespace {
+
+// U (R x C shared) @ M (B, C, d) through the transpose trick.
+Variable SharedLhsMatMul(const Variable& u, const Variable& m) {
+  Variable mt = ag::TransposePerm(m, {0, 2, 1});
+  Variable prod = ag::BatchedMatMul(mt, u, false, true);
+  return ag::TransposePerm(prod, {0, 2, 1});
+}
+
+std::shared_ptr<T::SparseOp> SymAdj(const T::CsrMatrix& spatial) {
+  return T::SparseOp::Create(spatial.WithSelfLoops().SymNormalized());
+}
+
+std::shared_ptr<T::SparseOp> ForwardTransition(const T::CsrMatrix& spatial) {
+  return T::SparseOp::Create(spatial.RowNormalized());
+}
+
+std::shared_ptr<T::SparseOp> BackwardTransition(const T::CsrMatrix& spatial) {
+  return T::SparseOp::Create(spatial.Transposed().RowNormalized());
+}
+
+// (B, T, N, F) tensor -> per-step Variable (B, N, F).
+Variable StepSlice(const Variable& x, int64_t t) {
+  return ag::Reshape(ag::Slice(x, 1, t, 1),
+                     {x.size(0), x.size(2), x.size(3)});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Stgcn --
+
+Stgcn::Stgcn(const train::ForecastTask& task, int64_t hidden_dim,
+             uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      sym_adj_(SymAdj(task.spatial_adj)),
+      tconv1_(task.input_dim, 2 * hidden_dim, 3, &rng_, 1, /*causal=*/true),
+      gconv_(hidden_dim, hidden_dim, &rng_),
+      tconv2_(hidden_dim, 2 * hidden_dim, 3, &rng_, 1, /*causal=*/true),
+      head_(hidden_dim, task.horizon, &rng_) {
+  RegisterChild("tconv1", &tconv1_);
+  RegisterChild("gconv", &gconv_);
+  RegisterChild("tconv2", &tconv2_);
+  RegisterChild("head", &head_);
+}
+
+Variable Stgcn::TemporalGated(const nn::Conv1dLayer& conv, const Variable& h,
+                              int64_t channels) const {
+  Variable pq = conv.Forward(h);  // (B*N, 2C, T)
+  Variable p = ag::Slice(pq, 1, 0, channels);
+  Variable q = ag::Slice(pq, 1, channels, channels);
+  return ag::Mul(p, ag::Sigmoid(q));
+}
+
+Variable Stgcn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2), f = x.size(3);
+  // Temporal gated conv over each sensor.
+  Variable seq = ag::Reshape(ag::TransposePerm(input, {0, 2, 3, 1}),
+                             {batch * n, f, t_in});
+  Variable h = TemporalGated(tconv1_, seq, hidden_dim_);  // (B*N, C, T)
+  // Spatial graph conv applied per time position.
+  h = ag::Reshape(h, {batch, n, hidden_dim_, t_in});
+  h = ag::TransposePerm(h, {0, 3, 1, 2});                // (B, T, N, C)
+  h = ag::Reshape(h, {batch * t_in, n, hidden_dim_});
+  h = ag::Relu(gconv_.Forward(ag::SpMM(sym_adj_, h)));
+  // Second temporal gated conv.
+  h = ag::Reshape(h, {batch, t_in, n, hidden_dim_});
+  h = ag::Reshape(ag::TransposePerm(h, {0, 2, 3, 1}),
+                  {batch * n, hidden_dim_, t_in});
+  h = TemporalGated(tconv2_, h, hidden_dim_);
+  Variable last = ag::Reshape(ag::Slice(h, 2, t_in - 1, 1),
+                              {batch * n, hidden_dim_});
+  Variable out = ag::Reshape(head_.Forward(last),
+                             {batch, n, task_.horizon});
+  out = ag::TransposePerm(out, {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// ---------------------------------------------------------------- Dcrnn --
+
+Dcrnn::Dcrnn(const train::ForecastTask& task, int64_t hidden_dim,
+             int64_t diffusion_steps, uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      fw_(ForwardTransition(task.spatial_adj)),
+      bw_(BackwardTransition(task.spatial_adj)),
+      gate_zr_(task.input_dim + hidden_dim, 2 * hidden_dim, diffusion_steps,
+               &rng_),
+      gate_c_(task.input_dim + hidden_dim, hidden_dim, diffusion_steps,
+              &rng_),
+      readout_(hidden_dim, 1, &rng_) {
+  RegisterChild("gate_zr", &gate_zr_);
+  RegisterChild("gate_c", &gate_c_);
+  RegisterChild("readout", &readout_);
+}
+
+Variable Dcrnn::CellStep(const Variable& x_t, const Variable& h) const {
+  // DCGRU: gates via diffusion conv on [x ; h] over the road graph.
+  Variable xh = ag::Concat({x_t, h}, 2);  // (B, N, F + H)
+  Variable zr = ag::Sigmoid(gate_zr_.Forward(fw_, bw_, xh));
+  Variable z = ag::Slice(zr, 2, 0, hidden_dim_);
+  Variable r = ag::Slice(zr, 2, hidden_dim_, hidden_dim_);
+  Variable xrh = ag::Concat({x_t, ag::Mul(r, h)}, 2);
+  Variable c = ag::Tanh(gate_c_.Forward(fw_, bw_, xrh));
+  Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, c));
+}
+
+Variable Dcrnn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), n = task_.num_nodes;
+  Variable h(tensor::Tensor::Zeros({batch, n, hidden_dim_}));
+  for (int64_t t = 0; t < task_.history; ++t) {
+    h = CellStep(StepSlice(input, t), h);
+  }
+  // Decoder: feed back own (scaled) predictions; extra input channels are 0.
+  Variable prev = ag::Reshape(
+      ag::Slice(StepSlice(input, task_.history - 1), 2, 0, 1),
+      {batch, n, 1});
+  Variable pad(tensor::Tensor::Zeros({batch, n, task_.input_dim - 1}));
+  std::vector<Variable> steps;
+  for (int64_t t = 0; t < task_.horizon; ++t) {
+    Variable x_t = ag::Concat({prev, pad}, 2);
+    h = CellStep(x_t, h);
+    prev = readout_.Forward(h);  // (B, N, 1)
+    steps.push_back(prev);
+  }
+  Variable out = ag::Concat(steps, 2);            // (B, N, T')
+  out = ag::TransposePerm(out, {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// --------------------------------------------------------- GraphWaveNet --
+
+GraphWaveNet::GraphWaveNet(const train::ForecastTask& task, int64_t channels,
+                           int64_t layers, uint64_t seed)
+    : GnnModelBase(task, seed),
+      channels_(channels),
+      fw_(ForwardTransition(task.spatial_adj)),
+      bw_(BackwardTransition(task.spatial_adj)),
+      input_proj_(task.input_dim, channels, &rng_),
+      head_(channels, task.horizon, &rng_) {
+  constexpr int64_t kEmbed = 10;
+  emb1_ = RegisterParameter(
+      "emb1", tensor::Tensor::Randn({task.num_nodes, kEmbed}, &rng_, 0.1f));
+  emb2_ = RegisterParameter(
+      "emb2", tensor::Tensor::Randn({task.num_nodes, kEmbed}, &rng_, 0.1f));
+  for (int64_t l = 0; l < layers; ++l) {
+    int64_t dilation = int64_t{1} << l;
+    filter_convs_.push_back(std::make_unique<nn::Conv1dLayer>(
+        channels, channels, 2, &rng_, dilation, /*causal=*/true));
+    gate_convs_.push_back(std::make_unique<nn::Conv1dLayer>(
+        channels, channels, 2, &rng_, dilation, /*causal=*/true));
+    gconv_fw_.push_back(
+        std::make_unique<nn::Linear>(channels, channels, &rng_, false));
+    gconv_bw_.push_back(
+        std::make_unique<nn::Linear>(channels, channels, &rng_, false));
+    gconv_adp_.push_back(
+        std::make_unique<nn::Linear>(channels, channels, &rng_));
+    RegisterChild("filter" + std::to_string(l), filter_convs_.back().get());
+    RegisterChild("gate" + std::to_string(l), gate_convs_.back().get());
+    RegisterChild("gfw" + std::to_string(l), gconv_fw_.back().get());
+    RegisterChild("gbw" + std::to_string(l), gconv_bw_.back().get());
+    RegisterChild("gadp" + std::to_string(l), gconv_adp_.back().get());
+  }
+  RegisterChild("input_proj", &input_proj_);
+  RegisterChild("head", &head_);
+}
+
+Variable GraphWaveNet::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2);
+  // Self-adaptive adjacency A = softmax(relu(E1 E2^T)) (dense, learned).
+  Variable adaptive = ag::SoftmaxLastAxis(
+      ag::Relu(ag::MatMul(emb1_, emb2_, false, /*trans_b=*/true)));
+  Variable h = input_proj_.Forward(input);  // (B, T, N, C)
+  for (size_t l = 0; l < filter_convs_.size(); ++l) {
+    // Gated dilated temporal convolution per sensor.
+    Variable seq = ag::Reshape(ag::TransposePerm(h, {0, 2, 3, 1}),
+                               {batch * n, channels_, t_in});
+    Variable gated = ag::Mul(ag::Tanh(filter_convs_[l]->Forward(seq)),
+                             ag::Sigmoid(gate_convs_[l]->Forward(seq)));
+    // Back to (B*T, N, C) for the graph mixing step.
+    gated = ag::Reshape(gated, {batch, n, channels_, t_in});
+    Variable spatial_in = ag::Reshape(
+        ag::TransposePerm(gated, {0, 3, 1, 2}), {batch * t_in, n, channels_});
+    Variable mixed =
+        ag::Add(ag::Add(gconv_fw_[l]->Forward(ag::SpMM(fw_, spatial_in)),
+                        gconv_bw_[l]->Forward(ag::SpMM(bw_, spatial_in))),
+                gconv_adp_[l]->Forward(
+                    SharedLhsMatMul(adaptive, spatial_in)));
+    Variable next = ag::Reshape(ag::Relu(mixed),
+                                {batch, t_in, n, channels_});
+    h = ag::Add(h, next);  // residual
+  }
+  Variable last = ag::Reshape(ag::Slice(h, 1, t_in - 1, 1),
+                              {batch, n, channels_});
+  Variable out = ag::TransposePerm(head_.Forward(last), {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// ---------------------------------------------------------------- Agcrn --
+
+Agcrn::Agcrn(const train::ForecastTask& task, int64_t hidden_dim,
+             int64_t embed_dim, uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      gate_zr_(task.input_dim + hidden_dim, 2 * hidden_dim, &rng_),
+      gate_c_(task.input_dim + hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  node_embed_ = RegisterParameter(
+      "node_embed",
+      tensor::Tensor::Randn({task.num_nodes, embed_dim}, &rng_, 1.0f));
+  RegisterChild("gate_zr", &gate_zr_);
+  RegisterChild("gate_c", &gate_c_);
+  RegisterChild("head", &head_);
+}
+
+Variable Agcrn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), n = task_.num_nodes;
+  // Data-adaptive adjacency from node embeddings (AGCRN Eq. 4).
+  Variable adaptive = ag::SoftmaxLastAxis(
+      ag::Relu(ag::MatMul(node_embed_, node_embed_, false, true)));
+  Variable h(tensor::Tensor::Zeros({batch, n, hidden_dim_}));
+  for (int64_t t = 0; t < task_.history; ++t) {
+    Variable xh = ag::Concat({StepSlice(input, t), h}, 2);
+    Variable mixed = SharedLhsMatMul(adaptive, xh);  // graph conv transform
+    Variable zr = ag::Sigmoid(gate_zr_.Forward(mixed));
+    Variable z = ag::Slice(zr, 2, 0, hidden_dim_);
+    Variable r = ag::Slice(zr, 2, hidden_dim_, hidden_dim_);
+    Variable xrh = ag::Concat({StepSlice(input, t), ag::Mul(r, h)}, 2);
+    Variable c = ag::Tanh(gate_c_.Forward(SharedLhsMatMul(adaptive, xrh)));
+    Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    h = ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, c));
+  }
+  Variable out = ag::TransposePerm(head_.Forward(h), {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// --------------------------------------------------------------- Stsgcn --
+
+Stsgcn::Stsgcn(const train::ForecastTask& task, int64_t hidden_dim,
+               uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      local_op_(graph::BuildNormalizedTemporalOp(task.spatial_adj,
+                                                 /*num_steps=*/3)),
+      input_proj_(task.input_dim, hidden_dim, &rng_),
+      gconv1_(hidden_dim, hidden_dim, &rng_),
+      gconv2_(hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  RegisterChild("input_proj", &input_proj_);
+  RegisterChild("gconv1", &gconv1_);
+  RegisterChild("gconv2", &gconv2_);
+  RegisterChild("head", &head_);
+}
+
+Variable Stsgcn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2);
+  Variable h = input_proj_.Forward(input);  // (B, T, N, C)
+  // Localized synchronous subgraphs: every 3 consecutive steps share one
+  // temporal graph; the middle step's embedding is retained.
+  std::vector<Variable> mids;
+  for (int64_t t = 0; t + 3 <= t_in; ++t) {
+    Variable window = ag::Reshape(ag::Slice(h, 1, t, 3),
+                                  {batch, 3 * n, hidden_dim_});
+    Variable g1 = ag::Relu(gconv1_.Forward(ag::SpMM(local_op_, window)));
+    Variable g2 = ag::Relu(gconv2_.Forward(ag::SpMM(local_op_, g1)));
+    // JK-style max aggregation of the two depths, middle step only.
+    Variable agg = ag::Maximum(g1, g2);
+    mids.push_back(ag::Slice(ag::Reshape(agg, {batch, 3, n, hidden_dim_}),
+                             1, 1, 1));
+  }
+  Variable stack = ag::Concat(mids, 1);  // (B, T-2, N, C)
+  Variable pooled = ag::Reshape(
+      ag::MaxPoolAxis(stack, 1, static_cast<int64_t>(mids.size())),
+      {batch, n, hidden_dim_});
+  Variable out = ag::TransposePerm(head_.Forward(pooled), {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// --------------------------------------------------------------- HgcRnn --
+
+HgcRnn::HgcRnn(const train::ForecastTask& task, int64_t hidden_dim,
+               uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      hyper_op_(hypergraph::Hypergraph::FromCommunities(task.district_labels)
+                    .NormalizedOperator()),
+      gate_zr_(task.input_dim + hidden_dim, 2 * hidden_dim, &rng_),
+      gate_c_(task.input_dim + hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  RegisterChild("gate_zr", &gate_zr_);
+  RegisterChild("gate_c", &gate_c_);
+  RegisterChild("head", &head_);
+}
+
+Variable HgcRnn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), n = task_.num_nodes;
+  Variable h(tensor::Tensor::Zeros({batch, n, hidden_dim_}));
+  for (int64_t t = 0; t < task_.history; ++t) {
+    // GRU whose transforms see hypergraph-convolved features.
+    Variable xh = ag::SpMM(hyper_op_, ag::Concat({StepSlice(input, t), h}, 2));
+    Variable zr = ag::Sigmoid(gate_zr_.Forward(xh));
+    Variable z = ag::Slice(zr, 2, 0, hidden_dim_);
+    Variable r = ag::Slice(zr, 2, hidden_dim_, hidden_dim_);
+    Variable xrh = ag::SpMM(
+        hyper_op_, ag::Concat({StepSlice(input, t), ag::Mul(r, h)}, 2));
+    Variable c = ag::Tanh(gate_c_.Forward(xrh));
+    Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    h = ag::Add(ag::Mul(z, h), ag::Mul(one_minus_z, c));
+  }
+  Variable out = ag::TransposePerm(head_.Forward(h), {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// ---------------------------------------------------------------- Dhgnn --
+
+Dhgnn::Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
+             int64_t num_clusters, int64_t knn, uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      num_clusters_(num_clusters),
+      knn_(knn),
+      encoder_(task.input_dim, hidden_dim, &rng_),
+      hconv1_(hidden_dim, hidden_dim, &rng_),
+      hconv2_(hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  RegisterChild("encoder", &encoder_);
+  RegisterChild("hconv1", &hconv1_);
+  RegisterChild("hconv2", &hconv2_);
+  RegisterChild("head", &head_);
+}
+
+Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2), f = x.size(3);
+  // Build the dynamic hypergraph from the current window's node signatures
+  // (mean feature vector over batch and time; DHGNN's kNN + k-means
+  // construction, no gradient through structure).
+  T::Tensor signatures = T::Tensor::Zeros({n, t_in});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < t_in; ++t) {
+      for (int64_t i = 0; i < n; ++i) {
+        signatures.data()[i * t_in + t] +=
+            x.data()[((b * t_in + t) * n + i) * f] / batch;
+      }
+    }
+  }
+  Rng structure_rng(29);
+  // Cluster hyperedges (k-means) plus kNN hyperedges around each node.
+  std::vector<int64_t> labels = hypergraph::KMeansLabels(
+      signatures, std::min(num_clusters_, n), 5, &structure_rng);
+  std::vector<T::Triplet> incidence;
+  for (int64_t i = 0; i < n; ++i) {
+    incidence.push_back({i, labels[i], 1.0f});
+  }
+  T::CsrMatrix knn = graph::KnnGraph(signatures, std::min(knn_, n - 1));
+  int64_t cluster_edges = num_clusters_;
+  for (int64_t i = 0; i < n; ++i) {
+    incidence.push_back({i, cluster_edges + i, 1.0f});  // node joins own edge
+    for (int64_t k = knn.row_ptr()[i]; k < knn.row_ptr()[i + 1]; ++k) {
+      incidence.push_back({knn.col_idx()[k], cluster_edges + i, 1.0f});
+    }
+  }
+  hypergraph::Hypergraph hg(
+      n, cluster_edges + n,
+      T::CsrMatrix::FromTriplets(n, cluster_edges + n, std::move(incidence)));
+  auto hyper_op = hg.NormalizedOperator();
+
+  // Temporal encoding (shared GRU per node), then hypergraph convolutions.
+  Variable input(x);
+  Variable seq = ag::Reshape(ag::TransposePerm(input, {0, 2, 1, 3}),
+                             {batch * n, t_in, f});
+  Variable h(tensor::Tensor::Zeros({batch * n, hidden_dim_}));
+  for (int64_t t = 0; t < t_in; ++t) {
+    Variable xt = ag::Reshape(ag::Slice(seq, 1, t, 1), {batch * n, f});
+    h = encoder_.Forward(xt, h);
+  }
+  Variable node_h = ag::Reshape(h, {batch, n, hidden_dim_});
+  Variable g1 = ag::Relu(hconv1_.Forward(ag::SpMM(hyper_op, node_h)));
+  Variable g2 = ag::Relu(hconv2_.Forward(ag::SpMM(hyper_op, g1)));
+  Variable out = ag::TransposePerm(head_.Forward(ag::Add(node_h, g2)),
+                                   {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// --------------------------------------------------------------- StgOde --
+
+StgOde::StgOde(const train::ForecastTask& task, int64_t hidden_dim,
+               int64_t rk4_steps, uint64_t seed)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      rk4_steps_(rk4_steps),
+      sym_adj_(SymAdj(task.spatial_adj)),
+      encoder_(task.input_dim, hidden_dim, &rng_),
+      field_proj_(hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  RegisterChild("encoder", &encoder_);
+  RegisterChild("field_proj", &field_proj_);
+  RegisterChild("head", &head_);
+}
+
+Variable StgOde::OdeField(const Variable& h) const {
+  // dh/dt = tanh(A h W) - h : diffusion toward graph-smoothed features.
+  return ag::Sub(ag::Tanh(field_proj_.Forward(ag::SpMM(sym_adj_, h))), h);
+}
+
+Variable StgOde::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  Variable input(x);
+  int64_t batch = x.size(0), n = task_.num_nodes, f = task_.input_dim;
+  // Temporal encoding per node.
+  Variable seq = ag::Reshape(ag::TransposePerm(input, {0, 2, 1, 3}),
+                             {batch * n, task_.history, f});
+  Variable h(tensor::Tensor::Zeros({batch * n, encoder_.hidden_dim()}));
+  for (int64_t t = 0; t < task_.history; ++t) {
+    Variable xt = ag::Reshape(ag::Slice(seq, 1, t, 1), {batch * n, f});
+    h = encoder_.Forward(xt, h);
+  }
+  Variable state = ag::Reshape(h, {batch, n, hidden_dim_});
+  // RK4 integration of the graph ODE over [0, 1].
+  float dt = 1.0f / static_cast<float>(rk4_steps_);
+  for (int64_t s = 0; s < rk4_steps_; ++s) {
+    Variable k1 = OdeField(state);
+    Variable k2 = OdeField(ag::Add(state, ag::MulScalar(k1, dt / 2)));
+    Variable k3 = OdeField(ag::Add(state, ag::MulScalar(k2, dt / 2)));
+    Variable k4 = OdeField(ag::Add(state, ag::MulScalar(k3, dt)));
+    Variable incr = ag::Add(ag::Add(k1, ag::MulScalar(k2, 2.0f)),
+                            ag::Add(ag::MulScalar(k3, 2.0f), k4));
+    state = ag::Add(state, ag::MulScalar(incr, dt / 6.0f));
+  }
+  Variable out = ag::TransposePerm(head_.Forward(state), {0, 2, 1});
+  return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+}  // namespace dyhsl::baselines

@@ -1,0 +1,124 @@
+// Neural baselines that ignore the road graph (paper Table III, middle
+// group): FC-LSTM, TCN (causal and non-causal), GRU encoder-decoder and a
+// DSANet-style dual self-attention network.
+
+#ifndef DYHSL_BASELINES_SEQ_MODELS_H_
+#define DYHSL_BASELINES_SEQ_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/module.h"
+#include "src/train/forecast_model.h"
+
+namespace dyhsl::baselines {
+
+using autograd::Variable;
+
+/// \brief FC-LSTM (Sutskever et al.): all sensors concatenated into one
+/// feature vector per step, LSTM encoder, fully-connected decoder.
+class FcLstm : public nn::Module, public train::ForecastModel {
+ public:
+  FcLstm(const train::ForecastTask& task, int64_t hidden_dim, uint64_t seed);
+
+  Variable Forward(const tensor::Tensor& x, bool training) override;
+  std::vector<Variable> Parameters() const override {
+    return nn::Module::Parameters();
+  }
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+  std::string name() const override { return "FC-LSTM"; }
+
+ private:
+  train::ForecastTask task_;
+  Rng rng_;
+  nn::LstmCell cell_;
+  nn::Linear head_;
+};
+
+/// \brief Temporal Convolution Network (Bai et al.): stacked dilated 1-D
+/// convolutions with residual connections, shared across sensors.
+class Tcn : public nn::Module, public train::ForecastModel {
+ public:
+  /// `causal` = false gives the paper's "TCN (w/o causal)" row.
+  Tcn(const train::ForecastTask& task, int64_t channels, int64_t levels,
+      bool causal, uint64_t seed);
+
+  Variable Forward(const tensor::Tensor& x, bool training) override;
+  std::vector<Variable> Parameters() const override {
+    return nn::Module::Parameters();
+  }
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+  std::string name() const override {
+    return causal_ ? "TCN" : "TCN(w/o causal)";
+  }
+
+ private:
+  train::ForecastTask task_;
+  bool causal_;
+  Rng rng_;
+  std::unique_ptr<nn::Conv1dLayer> input_conv_;
+  std::vector<std::unique_ptr<nn::Conv1dLayer>> convs_;
+  nn::Linear head_;
+};
+
+/// \brief GRU encoder-decoder (Cho et al.): per-sensor shared-weight GRU
+/// encodes the history; a second GRU unrolls the horizon autoregressively.
+class GruEd : public nn::Module, public train::ForecastModel {
+ public:
+  GruEd(const train::ForecastTask& task, int64_t hidden_dim, uint64_t seed);
+
+  Variable Forward(const tensor::Tensor& x, bool training) override;
+  std::vector<Variable> Parameters() const override {
+    return nn::Module::Parameters();
+  }
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+  std::string name() const override { return "GRU-ED"; }
+
+ private:
+  train::ForecastTask task_;
+  Rng rng_;
+  nn::GruCell encoder_;
+  nn::GruCell decoder_;
+  nn::Linear readout_;
+};
+
+/// \brief DSANet-style model: temporal convolution features per sensor,
+/// scaled-dot-product self-attention *across sensors* (the "spatial"
+/// self-attention branch), then a per-sensor head. Captures global
+/// dependencies without a predefined graph.
+class DsaNet : public nn::Module, public train::ForecastModel {
+ public:
+  DsaNet(const train::ForecastTask& task, int64_t hidden_dim, uint64_t seed);
+
+  Variable Forward(const tensor::Tensor& x, bool training) override;
+  std::vector<Variable> Parameters() const override {
+    return nn::Module::Parameters();
+  }
+  int64_t ParameterCount() const override {
+    return nn::Module::ParameterCount();
+  }
+  std::string name() const override { return "DSANet"; }
+
+ private:
+  train::ForecastTask task_;
+  int64_t hidden_dim_;
+  Rng rng_;
+  nn::Conv1dLayer temporal_conv_;
+  nn::Linear query_;
+  nn::Linear key_;
+  nn::Linear value_;
+  nn::LayerNorm norm_;
+  nn::Linear head_;
+};
+
+}  // namespace dyhsl::baselines
+
+#endif  // DYHSL_BASELINES_SEQ_MODELS_H_

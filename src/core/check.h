@@ -1,0 +1,73 @@
+// CHECK macros for programmer-error invariants (glog style, always on).
+//
+// These abort the process with a source location; they are for conditions
+// that indicate a bug in this library, never for user input (which is
+// reported through Status, see core/status.h).
+
+#ifndef DYHSL_CORE_CHECK_H_
+#define DYHSL_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dyhsl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "%s:%d: DYHSL_CHECK failed: %s %s\n", file, line,
+               condition, extra.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string DescribeBinary(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace dyhsl::internal
+
+#define DYHSL_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dyhsl::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (false)
+
+#define DYHSL_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dyhsl::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                  \
+  } while (false)
+
+#define DYHSL_CHECK_OP_(a, b, op)                                      \
+  do {                                                                 \
+    auto&& _va = (a);                                                  \
+    auto&& _vb = (b);                                                  \
+    if (!(_va op _vb)) {                                               \
+      ::dyhsl::internal::CheckFailed(                                  \
+          __FILE__, __LINE__, #a " " #op " " #b,                       \
+          ::dyhsl::internal::DescribeBinary(_va, _vb));                \
+    }                                                                  \
+  } while (false)
+
+#define DYHSL_CHECK_EQ(a, b) DYHSL_CHECK_OP_(a, b, ==)
+#define DYHSL_CHECK_NE(a, b) DYHSL_CHECK_OP_(a, b, !=)
+#define DYHSL_CHECK_LT(a, b) DYHSL_CHECK_OP_(a, b, <)
+#define DYHSL_CHECK_LE(a, b) DYHSL_CHECK_OP_(a, b, <=)
+#define DYHSL_CHECK_GT(a, b) DYHSL_CHECK_OP_(a, b, >)
+#define DYHSL_CHECK_GE(a, b) DYHSL_CHECK_OP_(a, b, >=)
+
+/// Aborts if a Status-returning expression fails. For tests and tools.
+#define DYHSL_CHECK_OK(expr)                                           \
+  do {                                                                 \
+    ::dyhsl::Status _st = (expr);                                      \
+    DYHSL_CHECK_MSG(_st.ok(), _st.ToString());                         \
+  } while (false)
+
+#endif  // DYHSL_CORE_CHECK_H_

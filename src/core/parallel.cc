@@ -1,0 +1,28 @@
+#include "src/core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace dyhsl {
+
+void ConfigureParallelism(int max_threads) {
+#ifdef _OPENMP
+  if (std::getenv("OMP_NUM_THREADS") != nullptr) return;  // user decided
+  if (const char* env = std::getenv("DYHSL_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) {
+      omp_set_num_threads(n);
+      return;
+    }
+  }
+  omp_set_num_threads(std::min(max_threads, omp_get_num_procs()));
+#else
+  (void)max_threads;
+#endif
+}
+
+}  // namespace dyhsl

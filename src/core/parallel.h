@@ -1,0 +1,19 @@
+// OpenMP thread-count policy.
+//
+// The kernels in this repository operate on small-to-medium matrices where
+// per-region fork/join overhead dominates past ~8 threads; benches and
+// examples cap the pool unless the user set OMP_NUM_THREADS explicitly.
+
+#ifndef DYHSL_CORE_PARALLEL_H_
+#define DYHSL_CORE_PARALLEL_H_
+
+namespace dyhsl {
+
+/// \brief Caps OpenMP threads at min(max_threads, hardware). Respects an
+/// explicit OMP_NUM_THREADS and the DYHSL_THREADS override. No-op without
+/// OpenMP.
+void ConfigureParallelism(int max_threads = 8);
+
+}  // namespace dyhsl
+
+#endif  // DYHSL_CORE_PARALLEL_H_

@@ -1,0 +1,52 @@
+#include "src/core/profile.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace dyhsl {
+
+RunProfile ParseRunProfile(const std::string& name) {
+  if (name == "tiny") return RunProfile::kTiny;
+  if (name == "full") return RunProfile::kFull;
+  return RunProfile::kQuick;
+}
+
+RunProfile GetRunProfile() {
+  static RunProfile profile = [] {
+    const char* env = std::getenv("DYHSL_PROFILE");
+    return ParseRunProfile(env == nullptr ? "quick" : env);
+  }();
+  return profile;
+}
+
+const char* RunProfileName(RunProfile profile) {
+  switch (profile) {
+    case RunProfile::kTiny:
+      return "tiny";
+    case RunProfile::kQuick:
+      return "quick";
+    case RunProfile::kFull:
+      return "full";
+  }
+  return "quick";
+}
+
+ProfileKnobs GetProfileKnobs(RunProfile profile) {
+  switch (profile) {
+    case RunProfile::kTiny:
+      return ProfileKnobs{/*node_scale=*/0.08, /*sim_days=*/2,
+                          /*train_epochs=*/1, /*hidden_dim=*/16,
+                          /*batch_size=*/8, /*max_batches_per_epoch=*/12};
+    case RunProfile::kQuick:
+      return ProfileKnobs{/*node_scale=*/0.12, /*sim_days=*/3,
+                          /*train_epochs=*/5, /*hidden_dim=*/24,
+                          /*batch_size=*/16, /*max_batches_per_epoch=*/25};
+    case RunProfile::kFull:
+      return ProfileKnobs{/*node_scale=*/1.0, /*sim_days=*/14,
+                          /*train_epochs=*/30, /*hidden_dim=*/64,
+                          /*batch_size=*/32, /*max_batches_per_epoch=*/0};
+  }
+  return GetProfileKnobs(RunProfile::kQuick);
+}
+
+}  // namespace dyhsl

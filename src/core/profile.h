@@ -1,0 +1,48 @@
+// Run profiles scale every experiment between smoke-test and paper scale.
+//
+// The environment variable DYHSL_PROFILE selects "tiny", "quick" (default)
+// or "full". Benches and examples read the profile once at startup; the
+// profile controls dataset size, hidden dimensions and epoch counts so the
+// whole bench suite finishes on a laptop CPU while "full" approaches the
+// paper's configuration.
+
+#ifndef DYHSL_CORE_PROFILE_H_
+#define DYHSL_CORE_PROFILE_H_
+
+#include <string>
+
+namespace dyhsl {
+
+enum class RunProfile : int { kTiny = 0, kQuick = 1, kFull = 2 };
+
+/// \brief Parses a profile name; unknown names fall back to kQuick.
+RunProfile ParseRunProfile(const std::string& name);
+
+/// \brief Reads DYHSL_PROFILE from the environment (cached after first call).
+RunProfile GetRunProfile();
+
+/// \brief "tiny" / "quick" / "full".
+const char* RunProfileName(RunProfile profile);
+
+/// \brief Multiplicative knobs derived from a profile.
+struct ProfileKnobs {
+  /// Fraction of the paper's node count retained by synthetic datasets.
+  double node_scale;
+  /// Number of simulated days of 5-minute traffic.
+  int sim_days;
+  /// Training epochs for neural models in experiment benches.
+  int train_epochs;
+  /// Hidden dimension used by experiment benches (paper: 64).
+  int hidden_dim;
+  /// Mini-batch size (paper: 32).
+  int batch_size;
+  /// Cap on training batches per epoch (0 = no cap).
+  int max_batches_per_epoch;
+};
+
+/// \brief Returns the knob set for a profile.
+ProfileKnobs GetProfileKnobs(RunProfile profile);
+
+}  // namespace dyhsl
+
+#endif  // DYHSL_CORE_PROFILE_H_

@@ -1,0 +1,37 @@
+#include "src/core/rng.h"
+
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace dyhsl {
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  DYHSL_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+float Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 is kept away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-12);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = static_cast<float>(radius * std::sin(theta));
+  has_cached_gaussian_ = true;
+  return static_cast<float>(radius * std::cos(theta));
+}
+
+}  // namespace dyhsl

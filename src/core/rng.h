@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (data simulation, weight init, dropout, batch
+// shuffling) draw from an explicitly seeded Rng so every experiment in the
+// benches is reproducible bit-for-bit on one machine.
+
+#ifndef DYHSL_CORE_RNG_H_
+#define DYHSL_CORE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dyhsl {
+
+/// \brief SplitMix64-based generator with Gaussian and integer helpers.
+///
+/// SplitMix64 passes BigCrush, is trivially seedable, and two generators
+/// seeded differently are independent for our purposes. Not thread-safe;
+/// create one per thread (see Split()).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// \brief Next raw 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// \brief Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// \brief Standard normal via Box-Muller (cached pair).
+  float Gaussian();
+
+  /// \brief Normal with the given mean / standard deviation.
+  float Gaussian(float mean, float stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// \brief Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Derives an independent child generator (for worker threads).
+  Rng Split() { return Rng(NextUint64() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+  /// \brief Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0f;
+};
+
+}  // namespace dyhsl
+
+#endif  // DYHSL_CORE_RNG_H_

@@ -1,0 +1,137 @@
+// Status / Result<T> error handling in the Arrow / RocksDB style.
+//
+// Library code never throws; recoverable errors are returned as Status (or
+// Result<T> when a value is produced), and programmer errors abort through
+// the DYHSL_CHECK macros in core/check.h.
+
+#ifndef DYHSL_CORE_STATUS_H_
+#define DYHSL_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dyhsl {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIoError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail without a produced value.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (OK carries
+/// no allocation) and are annotated [[nodiscard]] so callers cannot silently
+/// drop failures.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or a failure Status.
+///
+/// Mirrors arrow::Result. Accessing the value of a failed Result aborts, so
+/// callers must test ok() (or use DYHSL_ASSIGN_OR_ABORT in tests/tools).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}                 // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {}          // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) const {
+    if (!ok()) return alternative;
+    return std::get<T>(repr_);
+  }
+
+ private:
+  void AbortIfError() const;
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::AbortWithStatus(std::get<Status>(repr_));
+}
+
+/// \brief Propagates a non-OK Status from the current function.
+#define DYHSL_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::dyhsl::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace dyhsl
+
+#endif  // DYHSL_CORE_STATUS_H_

@@ -1,0 +1,69 @@
+#include "src/data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dyhsl::data {
+
+Status SaveCsv(const tensor::Tensor& matrix, const std::string& path) {
+  if (matrix.dim() != 2) {
+    return Status::InvalidArgument("SaveCsv requires a 2-D tensor, got " +
+                                   tensor::ShapeToString(matrix.shape()));
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  int64_t rows = matrix.size(0), cols = matrix.size(1);
+  const float* p = matrix.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) out << ',';
+      out << p[r * cols + c];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<tensor::Tensor> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::vector<float> values;
+  int64_t rows = 0;
+  int64_t cols = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    int64_t row_cols = 0;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        values.push_back(std::stof(cell));
+      } catch (...) {
+        return Status::InvalidArgument("non-numeric cell '" + cell +
+                                       "' in " + path);
+      }
+      ++row_cols;
+    }
+    if (cols < 0) {
+      cols = row_cols;
+    } else if (cols != row_cols) {
+      return Status::InvalidArgument(
+          "ragged CSV: line " + std::to_string(rows + 1) + " has " +
+          std::to_string(row_cols) + " columns, expected " +
+          std::to_string(cols));
+    }
+    ++rows;
+  }
+  if (rows == 0) return Status::InvalidArgument("empty CSV: " + path);
+  return tensor::Tensor::FromVector({rows, cols}, values);
+}
+
+}  // namespace dyhsl::data

@@ -1,0 +1,23 @@
+// CSV persistence so real PEMS exports can replace the simulator, and so
+// bench outputs (prediction series, incidence matrices) can be inspected.
+
+#ifndef DYHSL_DATA_IO_H_
+#define DYHSL_DATA_IO_H_
+
+#include <string>
+
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::data {
+
+/// \brief Writes a 2-D tensor as CSV (one row per line).
+Status SaveCsv(const tensor::Tensor& matrix, const std::string& path);
+
+/// \brief Reads a CSV of floats into a 2-D tensor. All rows must have the
+/// same number of columns. Blank lines are skipped.
+Result<tensor::Tensor> LoadCsv(const std::string& path);
+
+}  // namespace dyhsl::data
+
+#endif  // DYHSL_DATA_IO_H_

@@ -1,0 +1,137 @@
+#include "src/data/road_network_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/core/rng.h"
+
+namespace dyhsl::data {
+namespace {
+
+float Distance(const SyntheticRoadNetwork& net, int64_t a, int64_t b) {
+  float dx = net.x[a] - net.x[b];
+  float dy = net.y[a] - net.y[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+SyntheticRoadNetwork GenerateRoadNetwork(const RoadNetworkConfig& config) {
+  DYHSL_CHECK_GE(config.num_nodes, 2);
+  DYHSL_CHECK_GE(config.num_districts, 1);
+  Rng rng(config.seed);
+  SyntheticRoadNetwork net;
+  int64_t n = config.num_nodes;
+  int64_t target_edges =
+      config.target_edges > 0
+          ? config.target_edges
+          : static_cast<int64_t>(1.5 * static_cast<double>(n));
+
+  // District centers and functional types. Types cycle so every map has
+  // residential, business and mixed areas (the Fig. 1 setting).
+  std::vector<float> cx(config.num_districts), cy(config.num_districts);
+  for (int64_t d = 0; d < config.num_districts; ++d) {
+    cx[d] = rng.Uniform(0.15f, 0.85f) * config.map_size;
+    cy[d] = rng.Uniform(0.15f, 0.85f) * config.map_size;
+    net.district_type.push_back(static_cast<DistrictType>(d % 3));
+  }
+
+  // Nodes scattered around their district center.
+  net.x.resize(n);
+  net.y.resize(n);
+  net.district.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t d = static_cast<int64_t>(rng.NextBelow(config.num_districts));
+    net.district[i] = d;
+    net.x[i] = cx[d] + rng.Gaussian(0.0f, config.district_spread);
+    net.y[i] = cy[d] + rng.Gaussian(0.0f, config.district_spread);
+  }
+
+  net.graph = graph::Graph(n, {});
+  std::set<std::pair<int64_t, int64_t>> used;
+  // Distance-kernel weight; sigma chosen so intra-district edges get
+  // weights well above the numerical floor.
+  float sigma = config.district_spread * 1.5f;
+  auto add_edge = [&](int64_t a, int64_t b) {
+    if (a == b) return false;
+    auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (used.count(key) > 0) return false;
+    used.insert(key);
+    float dist = Distance(net, a, b);
+    float w = std::exp(-dist * dist / (2.0f * sigma * sigma));
+    net.graph.AddUndirectedEdge(a, b, std::max(w, 0.05f));
+    return true;
+  };
+
+  // Random-order nearest-neighbor spanning tree keeps the network
+  // connected and road-like (each new node attaches to the closest
+  // already-connected node).
+  std::vector<int64_t> order(n);
+  for (int64_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<int64_t> connected{order[0]};
+  for (int64_t idx = 1; idx < n; ++idx) {
+    int64_t node = order[idx];
+    int64_t best = connected[0];
+    float best_d = std::numeric_limits<float>::infinity();
+    for (int64_t c : connected) {
+      float d = Distance(net, node, c);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    add_edge(node, best);
+    connected.push_back(node);
+  }
+
+  // Extra short-range edges up to the target count: propose random node,
+  // connect to one of its nearest non-neighbors.
+  int64_t guard = 50 * n;
+  while (net.graph.UndirectedEdgeCount() < target_edges && guard-- > 0) {
+    int64_t a = static_cast<int64_t>(rng.NextBelow(n));
+    int64_t best = -1;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (int64_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      auto key = std::make_pair(std::min(a, b), std::max(a, b));
+      if (used.count(key) > 0) continue;
+      float d = Distance(net, a, b);
+      if (d < best_d) {
+        best_d = d;
+        best = b;
+      }
+    }
+    if (best >= 0) add_edge(a, best);
+  }
+  return net;
+}
+
+std::vector<int64_t> HopDistances(const graph::Graph& graph, int64_t source) {
+  std::vector<std::vector<int64_t>> adj(graph.num_nodes());
+  for (const graph::WeightedEdge& e : graph.edges()) {
+    adj[e.src].push_back(e.dst);
+  }
+  std::vector<int64_t> dist(graph.num_nodes(), -1);
+  std::queue<int64_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    int64_t u = frontier.front();
+    frontier.pop();
+    for (int64_t v : adj[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace dyhsl::data

@@ -1,0 +1,57 @@
+// Synthetic road-network generation.
+//
+// Real PEMS graphs are sparse highway sensor networks (average degree 2-3.5,
+// see paper Table II) embedded in metropolitan areas with functional
+// districts. The generator reproduces those properties: nodes cluster
+// around district centers, a random spanning tree guarantees connectivity,
+// and extra short-range edges are added until the target |E| is reached.
+// Edge weights use the Gaussian kernel of road distance, as in DCRNN.
+
+#ifndef DYHSL_DATA_ROAD_NETWORK_GEN_H_
+#define DYHSL_DATA_ROAD_NETWORK_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace dyhsl::data {
+
+/// \brief Functional role of a district; drives its daily traffic profile.
+enum class DistrictType : int { kResidential = 0, kBusiness = 1, kMixed = 2 };
+
+/// \brief Parameters for GenerateRoadNetwork.
+struct RoadNetworkConfig {
+  int64_t num_nodes = 100;
+  /// Latent communities; these become the "static hyperedges" of Fig. 1.
+  int64_t num_districts = 6;
+  /// Target undirected edge count (paper's |E| convention). If 0, defaults
+  /// to 1.5 * num_nodes.
+  int64_t target_edges = 0;
+  /// Side of the square map in km.
+  float map_size = 60.0f;
+  /// Std dev of node placement around its district center, km.
+  float district_spread = 6.0f;
+  uint64_t seed = 1;
+};
+
+/// \brief Generated network with geometry and latent district structure.
+struct SyntheticRoadNetwork {
+  graph::Graph graph;
+  std::vector<float> x;  // node coordinates, km
+  std::vector<float> y;
+  /// node -> district id in [0, num_districts)
+  std::vector<int64_t> district;
+  /// district -> functional type
+  std::vector<DistrictType> district_type;
+};
+
+/// \brief Generates a connected synthetic sensor network.
+SyntheticRoadNetwork GenerateRoadNetwork(const RoadNetworkConfig& config);
+
+/// \brief Hop distances from `source` (BFS, unweighted); unreachable = -1.
+std::vector<int64_t> HopDistances(const graph::Graph& graph, int64_t source);
+
+}  // namespace dyhsl::data
+
+#endif  // DYHSL_DATA_ROAD_NETWORK_GEN_H_

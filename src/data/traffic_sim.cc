@@ -1,0 +1,163 @@
+#include "src/data/traffic_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+#include "src/core/rng.h"
+
+namespace dyhsl::data {
+namespace {
+
+// Smooth bump centered at `center` (fraction of day) with width `width`.
+float Bump(float tod_frac, float center, float width) {
+  float d = tod_frac - center;
+  return std::exp(-d * d / (2.0f * width * width));
+}
+
+}  // namespace
+
+float DailyProfile(DistrictType type, int64_t tod, int64_t steps_per_day,
+                   bool weekend) {
+  float f = static_cast<float>(tod) / static_cast<float>(steps_per_day);
+  // Baseline night-to-day swell common to all districts.
+  float base = 0.12f + 0.5f * Bump(f, 0.55f, 0.22f);
+  float morning = Bump(f, 7.8f / 24.0f, 0.045f);   // ~07:50
+  float evening = Bump(f, 17.6f / 24.0f, 0.055f);  // ~17:40
+  float midday = Bump(f, 12.5f / 24.0f, 0.09f);
+  float profile = base;
+  switch (type) {
+    case DistrictType::kResidential:
+      profile += weekend ? 0.25f * midday + 0.15f * evening
+                         : 0.75f * morning + 0.45f * evening;
+      break;
+    case DistrictType::kBusiness:
+      profile += weekend ? 0.12f * midday
+                         : 0.35f * morning + 0.7f * evening + 0.3f * midday;
+      break;
+    case DistrictType::kMixed:
+      profile += weekend ? 0.3f * midday + 0.2f * evening
+                         : 0.5f * morning + 0.5f * evening + 0.2f * midday;
+      break;
+  }
+  return std::min(profile, 1.2f);
+}
+
+TrafficData SimulateTraffic(const SyntheticRoadNetwork& network,
+                            const TrafficSimConfig& config) {
+  const int64_t n = network.graph.num_nodes();
+  const int64_t steps = config.steps_per_day * config.num_days;
+  DYHSL_CHECK_GT(n, 0);
+  DYHSL_CHECK_GT(steps, 0);
+  Rng rng(config.seed);
+
+  // Neighbor lists for spatial smoothing of the latent process.
+  std::vector<std::vector<int64_t>> neighbors(n);
+  for (const graph::WeightedEdge& e : network.graph.edges()) {
+    neighbors[e.src].push_back(e.dst);
+  }
+
+  // Per-node capacity scale (log-normal-ish) and per-node phase jitter so
+  // sensors in one district are correlated but not identical.
+  std::vector<float> capacity(n), phase_jitter(n);
+  for (int64_t i = 0; i < n; ++i) {
+    capacity[i] = std::exp(rng.Gaussian(0.0f, 0.25f));
+    phase_jitter[i] = rng.Gaussian(0.0f, 0.012f);
+  }
+
+  // Schedule incident events.
+  TrafficData out;
+  out.steps_per_day = config.steps_per_day;
+  double expected_events =
+      static_cast<double>(config.events_per_day) * config.num_days;
+  int64_t num_events = 0;
+  // Poisson-ish: draw count as rounded Gaussian around the mean, >= 0.
+  num_events = std::max<int64_t>(
+      0, static_cast<int64_t>(std::lround(
+             expected_events + rng.Gaussian(0.0f, std::sqrt(std::max(
+                                                      1.0, expected_events))))));
+  for (int64_t e = 0; e < num_events; ++e) {
+    TrafficEvent event;
+    event.start_step = static_cast<int64_t>(rng.NextBelow(steps));
+    event.duration_steps = 9 + static_cast<int64_t>(rng.NextBelow(27));
+    event.epicenter = static_cast<int64_t>(rng.NextBelow(n));
+    event.radius_hops = 1 + static_cast<int64_t>(rng.NextBelow(3));
+    event.severity = rng.Uniform(0.3f, 0.7f);
+    out.events.push_back(event);
+  }
+
+  // Event impact multiplier per (step, node), assembled sparsely.
+  std::vector<float> event_mult(steps * n, 1.0f);
+  for (const TrafficEvent& event : out.events) {
+    std::vector<int64_t> hops = HopDistances(network.graph, event.epicenter);
+    for (int64_t i = 0; i < n; ++i) {
+      if (hops[i] < 0 || hops[i] > event.radius_hops) continue;
+      // Severity decays with distance; onset is delayed per ring.
+      float local_sev =
+          event.severity / (1.0f + 0.8f * static_cast<float>(hops[i]));
+      int64_t start = event.start_step + hops[i] * config.event_lag_steps;
+      int64_t end = std::min(steps, start + event.duration_steps);
+      for (int64_t s = std::max<int64_t>(0, start); s < end; ++s) {
+        // Ramp in/out over 2 steps for realism.
+        float edge_ramp = 1.0f;
+        if (s - start < 2) edge_ramp = 0.5f * static_cast<float>(s - start + 1);
+        if (end - s <= 2) edge_ramp = std::min(
+            edge_ramp, 0.5f * static_cast<float>(end - s));
+        event_mult[s * n + i] *= 1.0f - local_sev * edge_ramp;
+      }
+    }
+  }
+
+  // Main loop: latent AR(1) with spatially smoothed innovations.
+  out.flow = tensor::Tensor::Zeros({steps, n});
+  std::vector<float> latent(n, 0.0f), innov(n), smooth(n);
+  std::vector<int64_t> dropout_left(n, 0);
+  float* flow = out.flow.data();
+  float innov_std = std::sqrt(1.0f - config.latent_rho * config.latent_rho);
+  for (int64_t s = 0; s < steps; ++s) {
+    int64_t day = s / config.steps_per_day;
+    int64_t tod = s % config.steps_per_day;
+    bool weekend = (day % 7) >= 5;
+    // Innovations, smoothed over the graph so districts co-move.
+    for (int64_t i = 0; i < n; ++i) innov[i] = rng.Gaussian();
+    for (int64_t round = 0; round < config.smoothing_rounds; ++round) {
+      for (int64_t i = 0; i < n; ++i) {
+        float acc = innov[i];
+        for (int64_t j : neighbors[i]) acc += innov[j];
+        smooth[i] = acc / static_cast<float>(1 + neighbors[i].size());
+      }
+      std::swap(innov, smooth);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      latent[i] = config.latent_rho * latent[i] + innov_std * innov[i];
+      DistrictType type =
+          network.district_type[network.district[i]];
+      int64_t jittered_tod =
+          (tod +
+           static_cast<int64_t>(phase_jitter[i] *
+                                static_cast<float>(config.steps_per_day)) +
+           config.steps_per_day) %
+          config.steps_per_day;
+      float profile =
+          DailyProfile(type, jittered_tod, config.steps_per_day, weekend);
+      float value = config.base_flow * capacity[i] * profile *
+                    (1.0f + config.latent_weight * latent[i]) *
+                    event_mult[s * n + i];
+      value += config.base_flow * config.noise_frac * rng.Gaussian();
+      value = std::max(value, 0.0f);
+      // Sensor dropouts: bursts of exact zeros.
+      if (dropout_left[i] > 0) {
+        --dropout_left[i];
+        value = 0.0f;
+      } else if (rng.Bernoulli(config.dropout_prob)) {
+        dropout_left[i] =
+            static_cast<int64_t>(rng.NextBelow(config.dropout_max_steps)) + 1;
+        value = 0.0f;
+      }
+      flow[s * n + i] = value;
+    }
+  }
+  return out;
+}
+
+}  // namespace dyhsl::data

@@ -1,0 +1,58 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "src/core/check.h"
+
+namespace dyhsl::graph {
+
+tensor::CsrMatrix Graph::ToAdjacency() const {
+  std::vector<tensor::Triplet> triplets;
+  triplets.reserve(edges_.size());
+  for (const WeightedEdge& e : edges_) {
+    if (e.src == e.dst) continue;
+    triplets.push_back({e.src, e.dst, e.weight});
+  }
+  return tensor::CsrMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                         std::move(triplets));
+}
+
+int64_t Graph::UndirectedEdgeCount() const {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const WeightedEdge& e : edges_) {
+    if (e.src == e.dst) continue;
+    pairs.insert({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+  }
+  return static_cast<int64_t>(pairs.size());
+}
+
+tensor::CsrMatrix KnnGraph(const tensor::Tensor& features, int64_t k) {
+  DYHSL_CHECK_EQ(features.dim(), 2);
+  int64_t rows = features.size(0);
+  int64_t dim = features.size(1);
+  DYHSL_CHECK_LT(k, rows);
+  std::vector<tensor::Triplet> triplets;
+  triplets.reserve(rows * k);
+  const float* p = features.data();
+  std::vector<std::pair<float, int64_t>> dists(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < rows; ++j) {
+      float d2 = 0.0f;
+      for (int64_t c = 0; c < dim; ++c) {
+        float diff = p[i * dim + c] - p[j * dim + c];
+        d2 += diff * diff;
+      }
+      dists[j] = {i == j ? std::numeric_limits<float>::infinity() : d2, j};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    for (int64_t n = 0; n < k; ++n) {
+      triplets.push_back({i, dists[n].second, 1.0f});
+    }
+  }
+  return tensor::CsrMatrix::FromTriplets(rows, rows, std::move(triplets));
+}
+
+}  // namespace dyhsl::graph

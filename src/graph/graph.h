@@ -1,0 +1,62 @@
+// Weighted road-network graph and conversions to sparse operators.
+
+#ifndef DYHSL_GRAPH_GRAPH_H_
+#define DYHSL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/sparse.h"
+
+namespace dyhsl::graph {
+
+/// \brief Directed weighted edge (road networks store both directions
+/// explicitly when symmetric).
+struct WeightedEdge {
+  int64_t src;
+  int64_t dst;
+  float weight;
+};
+
+/// \brief A sensor network: nodes are detector locations, edges are road
+/// segments with a proximity weight in (0, 1].
+class Graph {
+ public:
+  Graph() = default;
+  Graph(int64_t num_nodes, std::vector<WeightedEdge> edges)
+      : num_nodes_(num_nodes), edges_(std::move(edges)) {}
+
+  int64_t num_nodes() const { return num_nodes_; }
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// \brief Adds one directed edge.
+  void AddEdge(int64_t src, int64_t dst, float weight) {
+    edges_.push_back({src, dst, weight});
+  }
+
+  /// \brief Adds src->dst and dst->src with the same weight.
+  void AddUndirectedEdge(int64_t src, int64_t dst, float weight) {
+    AddEdge(src, dst, weight);
+    AddEdge(dst, src, weight);
+  }
+
+  /// \brief Weighted adjacency matrix (N x N) without self loops.
+  tensor::CsrMatrix ToAdjacency() const;
+
+  /// \brief Count of undirected neighbor pairs (paper's |E| convention).
+  int64_t UndirectedEdgeCount() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// \brief kNN graph over row vectors of `features` (R x d) by Euclidean
+/// distance; each row points to its k nearest other rows with weight 1.
+/// Used by the DHGNN baseline's dynamic hyperedge construction.
+tensor::CsrMatrix KnnGraph(const tensor::Tensor& features, int64_t k);
+
+}  // namespace dyhsl::graph
+
+#endif  // DYHSL_GRAPH_GRAPH_H_

@@ -1,0 +1,51 @@
+#include "src/graph/temporal_graph.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/core/check.h"
+
+namespace dyhsl::graph {
+
+tensor::CsrMatrix BuildTemporalGraph(const tensor::CsrMatrix& spatial,
+                                     int64_t num_steps,
+                                     const TemporalGraphOptions& options) {
+  DYHSL_CHECK_EQ(spatial.rows(), spatial.cols());
+  DYHSL_CHECK_GE(num_steps, 1);
+  int64_t n = spatial.rows();
+  int64_t total = num_steps * n;
+  std::vector<tensor::Triplet> triplets;
+  triplets.reserve(num_steps * spatial.nnz() + 3 * total);
+
+  for (int64_t t = 0; t < num_steps; ++t) {
+    int64_t base = t * n;
+    // Spatial edges: A_ij within the step (Eq. 4, case t == t').
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t k = spatial.row_ptr()[r]; k < spatial.row_ptr()[r + 1];
+           ++k) {
+        triplets.push_back(
+            {base + r, base + spatial.col_idx()[k], spatial.values()[k]});
+      }
+      // Self loop (case i == j, t' == t).
+      triplets.push_back({base + r, base + r, options.temporal_weight});
+      // Temporal edge to the next step (case i == j, t' == t + 1).
+      if (t + 1 < num_steps) {
+        triplets.push_back({base + r, base + n + r, options.temporal_weight});
+      }
+      // Backward temporal edge (aggregation from the past).
+      if (options.bidirectional_time && t > 0) {
+        triplets.push_back({base + r, base - n + r, options.temporal_weight});
+      }
+    }
+  }
+  return tensor::CsrMatrix::FromTriplets(total, total, std::move(triplets));
+}
+
+std::shared_ptr<tensor::SparseOp> BuildNormalizedTemporalOp(
+    const tensor::CsrMatrix& spatial, int64_t num_steps,
+    const TemporalGraphOptions& options) {
+  return tensor::SparseOp::Create(
+      BuildTemporalGraph(spatial, num_steps, options).RowNormalized());
+}
+
+}  // namespace dyhsl::graph

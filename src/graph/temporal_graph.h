@@ -1,0 +1,49 @@
+// Temporal graph construction (paper Eq. 4).
+//
+// The temporal graph G_H has one node per (time step, sensor) observation.
+// Index convention throughout this repository is time-major:
+//
+//   NodeIndex(t, i) = t * N + i,   t in [0, T), i in [0, N)
+//
+// matching the row order obtained by reshaping a (T, N, d) tensor to
+// (T*N, d). Spatial edges replicate the road network inside each step;
+// temporal edges connect the same sensor across consecutive steps; every
+// observation gets a self loop (the "t' = t" case of Eq. 4).
+
+#ifndef DYHSL_GRAPH_TEMPORAL_GRAPH_H_
+#define DYHSL_GRAPH_TEMPORAL_GRAPH_H_
+
+#include "src/tensor/sparse.h"
+
+namespace dyhsl::graph {
+
+/// \brief Options for BuildTemporalGraph.
+struct TemporalGraphOptions {
+  /// Also add t -> t-1 edges. Eq. 4 writes only t' = t + 1, but aggregation
+  /// from the past is what a forecaster needs; with row normalization the
+  /// bidirectional variant subsumes the paper's and is the default.
+  bool bidirectional_time = true;
+  /// Weight of temporal edges and self loops (Eq. 4 uses 1).
+  float temporal_weight = 1.0f;
+};
+
+/// \brief Builds the adjacency \hat{A} of Eq. 4 for `num_steps` copies of
+/// the spatial adjacency `spatial` (N x N, no self loops), size (TN x TN).
+tensor::CsrMatrix BuildTemporalGraph(const tensor::CsrMatrix& spatial,
+                                     int64_t num_steps,
+                                     const TemporalGraphOptions& options = {});
+
+/// \brief Row-normalized temporal graph wrapped as a reusable sparse op
+/// (\bar{A} below Eq. 5: every row sums to 1).
+std::shared_ptr<tensor::SparseOp> BuildNormalizedTemporalOp(
+    const tensor::CsrMatrix& spatial, int64_t num_steps,
+    const TemporalGraphOptions& options = {});
+
+/// \brief Flat observation index for (t, i) with N sensors.
+inline int64_t TemporalNodeIndex(int64_t t, int64_t i, int64_t num_nodes) {
+  return t * num_nodes + i;
+}
+
+}  // namespace dyhsl::graph
+
+#endif  // DYHSL_GRAPH_TEMPORAL_GRAPH_H_

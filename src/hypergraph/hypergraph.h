@@ -1,0 +1,69 @@
+// Static hypergraph structures and HGNN-style convolution operators.
+//
+// DyHSL itself *learns* a dense incidence matrix inside the model
+// (src/models/dhsl_block.h); this module provides the predefined-hypergraph
+// machinery needed by the HGC-RNN / DSTHGCN-style baselines and by analysis
+// tools: incidence construction from community labels or clustering, and
+// the normalized two-step propagation operator
+//
+//   G = D_v^{-1} Λ D_e^{-1} Λ^T
+//
+// so hypergraph convolution reduces to SpMM(G, X) W.
+
+#ifndef DYHSL_HYPERGRAPH_HYPERGRAPH_H_
+#define DYHSL_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::hypergraph {
+
+/// \brief A hypergraph as a sparse node x hyperedge incidence matrix.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  Hypergraph(int64_t num_nodes, int64_t num_edges,
+             tensor::CsrMatrix incidence)
+      : num_nodes_(num_nodes),
+        num_edges_(num_edges),
+        incidence_(std::move(incidence)) {}
+
+  /// \brief One hyperedge per distinct label; node v joins hyperedge
+  /// labels[v]. This encodes the paper's Fig. 1 intuition: districts
+  /// (residential / business areas) act as static hyperedges.
+  static Hypergraph FromCommunities(const std::vector<int64_t>& labels);
+
+  /// \brief Builds hyperedges by k-means clustering of node features
+  /// (R x d): one hyperedge per cluster (the DHGNN construction).
+  static Hypergraph FromKMeans(const tensor::Tensor& features,
+                               int64_t num_clusters, int64_t iterations,
+                               Rng* rng);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_edges_; }
+  const tensor::CsrMatrix& incidence() const { return incidence_; }
+
+  /// \brief Normalized propagation operator D_v^-1 Λ D_e^-1 Λ^T as a
+  /// reusable sparse op (num_nodes x num_nodes).
+  std::shared_ptr<tensor::SparseOp> NormalizedOperator() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  tensor::CsrMatrix incidence_;  // (num_nodes, num_edges)
+};
+
+/// \brief K-means over rows of `points` (R x d); returns cluster labels.
+/// Deterministic given the rng. Empty clusters are re-seeded randomly.
+std::vector<int64_t> KMeansLabels(const tensor::Tensor& points,
+                                  int64_t num_clusters, int64_t iterations,
+                                  Rng* rng);
+
+}  // namespace dyhsl::hypergraph
+
+#endif  // DYHSL_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,68 @@
+// Forecast error metrics with the PEMS masking convention.
+//
+// PEMS sensors report exact zeros during outages; following the standard
+// protocol (STSGCN and successors, which the paper adopts), readings whose
+// ground truth is ~0 are excluded from MAE/RMSE and MAPE.
+
+#ifndef DYHSL_METRICS_METRICS_H_
+#define DYHSL_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::metrics {
+
+/// \brief Aggregate MAE / RMSE / MAPE over a stream of (pred, truth) pairs.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(float mask_threshold = 1e-3f)
+      : mask_threshold_(mask_threshold) {}
+
+  /// \brief Adds every element of `pred` vs `truth` (same shape, raw scale).
+  void Add(const tensor::Tensor& pred, const tensor::Tensor& truth);
+
+  /// \brief Adds a single raw pair.
+  void AddValue(float pred, float truth);
+
+  double Mae() const;
+  double Rmse() const;
+  /// MAPE in percent (paper reports e.g. "14.38%").
+  double Mape() const;
+  int64_t count() const { return count_; }
+
+  /// \brief Merges another accumulator (for per-horizon aggregation).
+  void Merge(const MetricAccumulator& other);
+
+ private:
+  float mask_threshold_;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+/// \brief MAE/RMSE/MAPE triple.
+struct ForecastMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // percent
+
+  std::string ToString() const;
+};
+
+/// \brief Convenience: metrics of one (pred, truth) tensor pair.
+ForecastMetrics Evaluate(const tensor::Tensor& pred,
+                         const tensor::Tensor& truth,
+                         float mask_threshold = 1e-3f);
+
+/// \brief Per-horizon metrics for (B, T', N) prediction tensors: result[t]
+/// covers horizon step t.
+std::vector<ForecastMetrics> EvaluatePerHorizon(const tensor::Tensor& pred,
+                                                const tensor::Tensor& truth);
+
+}  // namespace dyhsl::metrics
+
+#endif  // DYHSL_METRICS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+#include "src/core/check.h"
+#include "src/nn/init.h"
+
+namespace dyhsl::nn {
+
+namespace ag = ::dyhsl::autograd;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", GlorotUniform2D(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", tensor::Tensor::Zeros({out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  DYHSL_CHECK_EQ(x.size(-1), in_features_);
+  // Fold every leading axis into rows, multiply, restore.
+  tensor::Shape out_shape = x.shape();
+  out_shape.back() = out_features_;
+  Variable x2 = x.dim() == 2 ? x : ag::Reshape(x, {-1, in_features_});
+  Variable y = ag::MatMul(x2, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  if (x.dim() != 2) y = ag::Reshape(y, std::move(out_shape));
+  return y;
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng* rng) {
+  weight_ = RegisterParameter(
+      "weight", tensor::Tensor::Randn({count, dim}, rng, 0.1f));
+}
+
+Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return ag::EmbeddingLookup(weight_, indices);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", tensor::Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", tensor::Tensor::Zeros({dim}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  Variable mu = ag::Mean(x, -1, /*keepdims=*/true);
+  Variable centered = ag::Sub(x, mu);
+  Variable var = ag::Mean(ag::Mul(centered, centered), -1, /*keepdims=*/true);
+  Variable inv_std = ag::Div(
+      Variable(tensor::Tensor::Scalar(1.0f)),
+      ag::Sqrt(ag::AddScalar(var, eps_)));
+  Variable normed = ag::Mul(centered, inv_std);
+  return ag::Add(ag::Mul(normed, gamma_), beta_);
+}
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      x_gates_(input_dim, 3 * hidden_dim, rng, /*bias=*/true),
+      h_gates_(hidden_dim, 3 * hidden_dim, rng, /*bias=*/false) {
+  RegisterChild("x_gates", &x_gates_);
+  RegisterChild("h_gates", &h_gates_);
+}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  Variable gx = x_gates_.Forward(x);  // (B, 3d)
+  Variable gh = h_gates_.Forward(h);
+  int64_t d = hidden_dim_;
+  Variable z = ag::Sigmoid(ag::Add(ag::Slice(gx, -1, 0, d),
+                                   ag::Slice(gh, -1, 0, d)));
+  Variable r = ag::Sigmoid(ag::Add(ag::Slice(gx, -1, d, d),
+                                   ag::Slice(gh, -1, d, d)));
+  Variable c = ag::Tanh(ag::Add(ag::Slice(gx, -1, 2 * d, d),
+                                ag::Mul(r, ag::Slice(gh, -1, 2 * d, d))));
+  // h' = (1 - z) * h + z * c
+  Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, c));
+}
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      x_gates_(input_dim, 4 * hidden_dim, rng, /*bias=*/true),
+      h_gates_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {
+  RegisterChild("x_gates", &x_gates_);
+  RegisterChild("h_gates", &h_gates_);
+}
+
+LstmCell::State LstmCell::Forward(const Variable& x, const State& state) const {
+  Variable gates = ag::Add(x_gates_.Forward(x), h_gates_.Forward(state.h));
+  int64_t d = hidden_dim_;
+  Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, d));
+  Variable f = ag::Sigmoid(ag::Slice(gates, -1, d, d));
+  Variable g = ag::Tanh(ag::Slice(gates, -1, 2 * d, d));
+  Variable o = ag::Sigmoid(ag::Slice(gates, -1, 3 * d, d));
+  Variable c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  Variable h = ag::Mul(o, ag::Tanh(c));
+  return State{h, c};
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return State{Variable(tensor::Tensor::Zeros({batch, hidden_dim_})),
+               Variable(tensor::Tensor::Zeros({batch, hidden_dim_}))};
+}
+
+Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_size, Rng* rng, int64_t dilation,
+                         bool causal, bool bias)
+    : out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      dilation_(dilation),
+      causal_(causal) {
+  int64_t fan_in = in_channels * kernel_size;
+  weight_ = RegisterParameter(
+      "weight",
+      GlorotUniform({out_channels, in_channels, kernel_size}, fan_in,
+                    out_channels, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias",
+                              tensor::Tensor::Zeros({out_channels, 1}));
+  }
+}
+
+Variable Conv1dLayer::Forward(const Variable& x) const {
+  int64_t reach = (kernel_size_ - 1) * dilation_;
+  // Causal: pad on the left only, so output length == input length and
+  // out[t] depends on x[<= t]. Non-causal: split padding symmetrically.
+  int64_t pad_left = causal_ ? reach : reach / 2;
+  int64_t pad_right = causal_ ? 0 : reach - reach / 2;
+  Variable y = ag::Conv1d(x, weight_, dilation_, pad_left, pad_right);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  return y;
+}
+
+GraphConv::GraphConv(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias)
+    : proj_(in_dim, out_dim, rng, bias) {
+  RegisterChild("proj", &proj_);
+}
+
+Variable GraphConv::Forward(const std::shared_ptr<tensor::SparseOp>& adj,
+                            const Variable& x) const {
+  return proj_.Forward(ag::SpMM(adj, x));
+}
+
+DiffusionConv::DiffusionConv(int64_t in_dim, int64_t out_dim, int64_t steps,
+                             Rng* rng)
+    : steps_(steps) {
+  DYHSL_CHECK_GE(steps, 1);
+  for (int64_t k = 0; k <= steps; ++k) {
+    fw_proj_.push_back(std::make_unique<Linear>(in_dim, out_dim, rng,
+                                                /*bias=*/k == 0));
+    RegisterChild("fw" + std::to_string(k), fw_proj_.back().get());
+    if (k > 0) {
+      bw_proj_.push_back(std::make_unique<Linear>(in_dim, out_dim, rng,
+                                                  /*bias=*/false));
+      RegisterChild("bw" + std::to_string(k), bw_proj_.back().get());
+    }
+  }
+}
+
+Variable DiffusionConv::Forward(const std::shared_ptr<tensor::SparseOp>& fw,
+                                const std::shared_ptr<tensor::SparseOp>& bw,
+                                const Variable& x) const {
+  Variable out = fw_proj_[0]->Forward(x);  // k = 0 term (identity)
+  Variable xf = x;
+  Variable xb = x;
+  for (int64_t k = 1; k <= steps_; ++k) {
+    xf = ag::SpMM(fw, xf);
+    out = ag::Add(out, fw_proj_[k]->Forward(xf));
+    xb = ag::SpMM(bw, xb);
+    out = ag::Add(out, bw_proj_[k - 1]->Forward(xb));
+  }
+  return out;
+}
+
+}  // namespace dyhsl::nn

@@ -1,0 +1,47 @@
+#include "src/nn/module.h"
+
+#include "src/core/check.h"
+
+namespace dyhsl::nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, param] : params_) out.push_back(param);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& [name, param] : params_) out.emplace_back(name, param);
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, param] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + name, param);
+    }
+  }
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const autograd::Variable& p : Parameters()) count += p.numel();
+  return count;
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  autograd::Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterChild(std::string name, Module* child) {
+  DYHSL_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace dyhsl::nn

@@ -1,0 +1,51 @@
+// Base class for neural network modules: parameter registration and
+// recursive collection, in the spirit of torch::nn::Module.
+
+#ifndef DYHSL_NN_MODULE_H_
+#define DYHSL_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace dyhsl::nn {
+
+/// \brief Base for layers and models. Subclasses register parameters in
+/// their constructor and child modules via RegisterChild; Parameters()
+/// walks the tree. Modules are not copyable (parameter identity matters).
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// \brief All parameters of this module and its children (depth-first).
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// \brief Named parameters, prefixed by the child path ("block1.weight").
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// \brief Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+ protected:
+  /// \brief Wraps `init` as a trainable parameter and tracks it.
+  autograd::Variable RegisterParameter(std::string name,
+                                       tensor::Tensor init);
+
+  /// \brief Tracks a child module (not owned; the subclass owns it as a
+  /// member and must outlive registration).
+  void RegisterChild(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace dyhsl::nn
+
+#endif  // DYHSL_NN_MODULE_H_

@@ -1,0 +1,75 @@
+// First-order optimizers operating on Variable parameters.
+
+#ifndef DYHSL_OPTIM_OPTIMIZER_H_
+#define DYHSL_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/autograd/variable.h"
+
+namespace dyhsl::optim {
+
+using autograd::Variable;
+
+/// \brief Base optimizer over a fixed parameter list. Parameters whose
+/// gradient is undefined at Step() time are skipped (e.g. unused branches).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update using the gradients currently stored.
+  virtual void Step() = 0;
+
+  /// \brief Clears all parameter gradients.
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_ = 1e-3f;
+};
+
+/// \brief Stochastic gradient descent with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2014) with optional decoupled weight decay.
+/// The paper trains DyHSL with Adam at lr 1e-3.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// \brief Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+}  // namespace dyhsl::optim
+
+#endif  // DYHSL_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,666 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace dyhsl::tensor {
+namespace {
+
+// Threshold below which elementwise loops stay single-threaded.
+constexpr int64_t kParallelCutoff = 1 << 15;
+
+// Row-major strides for a shape.
+std::vector<int64_t> StridesOf(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+// Strides of `shape` expanded to `out_rank` dims with broadcast axes zeroed.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  std::vector<int64_t> strides(out.size(), 0);
+  auto own = StridesOf(shape);
+  int64_t offset = static_cast<int64_t>(out.size() - shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] != 1) strides[offset + i] = own[i];
+  }
+  return strides;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  // Fast path: identical shapes.
+  if (SameShape(a, b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    int64_t n = a.numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  // Fast path: b is a scalar.
+  if (b.numel() == 1) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    float s = b.data()[0];
+    float* po = out.data();
+    int64_t n = a.numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], s);
+    return out;
+  }
+  // Fast path: row broadcast, b matches the trailing axis of a.
+  if (b.dim() == 1 && a.dim() >= 1 && a.size(-1) == b.size(0)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    int64_t cols = b.size(0);
+    int64_t rows = a.numel() / cols;
+#pragma omp parallel for if (a.numel() > kParallelCutoff)
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* ra = pa + r * cols;
+      float* ro = po + r * cols;
+      for (int64_t c = 0; c < cols; ++c) ro[c] = f(ra[c], pb[c]);
+    }
+    return out;
+  }
+  // General broadcasting.
+  Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  auto sa = BroadcastStrides(a.shape(), out_shape);
+  auto sb = BroadcastStrides(b.shape(), out_shape);
+  auto so = StridesOf(out_shape);
+  int64_t n = out.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t rank = static_cast<int64_t>(out_shape.size());
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t rem = i, ia = 0, ib = 0;
+    for (int64_t d = 0; d < rank; ++d) {
+      int64_t idx = rem / so[d];
+      rem -= idx * so[d];
+      ia += idx * sa[d];
+      ib += idx * sb[d];
+    }
+    po[i] = f(pa[ia], pb[ib]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  size_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (size_t i = 0; i < rank; ++i) {
+    int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    DYHSL_CHECK_MSG(da == db || da == 1 || db == 1,
+                    "incompatible broadcast " + ShapeToString(a) + " vs " +
+                        ShapeToString(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  Tensor cur = t;
+  // Sum away leading extra axes.
+  while (cur.dim() > static_cast<int64_t>(target.size())) {
+    cur = Sum(cur, 0, /*keepdims=*/false);
+  }
+  // Sum broadcast axes (size 1 in target) keeping dims.
+  for (int64_t d = 0; d < cur.dim(); ++d) {
+    if (target[d] == 1 && cur.size(d) != 1) {
+      cur = Sum(cur, d, /*keepdims=*/true);
+    }
+  }
+  DYHSL_CHECK_MSG(cur.shape() == target,
+                  "ReduceToShape failed: " + ShapeToString(t.shape()) +
+                      " -> " + ShapeToString(target));
+  return cur;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x > y ? x : y; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+void AddInPlace(Tensor* dst, const Tensor& src) {
+  DYHSL_CHECK(SameShape(*dst, src));
+  float* pd = dst->data();
+  const float* ps = src.data();
+  int64_t n = dst->numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) pd[i] += ps[i];
+}
+
+void AxpyInPlace(Tensor* dst, float alpha, const Tensor& src) {
+  DYHSL_CHECK(SameShape(*dst, src));
+  float* pd = dst->data();
+  const float* ps = src.data();
+  int64_t n = dst->numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) pd[i] += alpha * ps[i];
+}
+
+void ScaleInPlace(Tensor* dst, float s) {
+  float* pd = dst->data();
+  int64_t n = dst->numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) pd[i] *= s;
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+Tensor Heaviside(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  DYHSL_CHECK_EQ(a.dim(), 2);
+  DYHSL_CHECK_EQ(b.dim(), 2);
+  int64_t m = trans_a ? a.size(1) : a.size(0);
+  int64_t k = trans_a ? a.size(0) : a.size(1);
+  int64_t kb = trans_b ? b.size(1) : b.size(0);
+  int64_t n = trans_b ? b.size(0) : b.size(1);
+  DYHSL_CHECK_MSG(k == kb, "MatMul inner dim mismatch " +
+                               ShapeToString(a.shape()) + " x " +
+                               ShapeToString(b.shape()));
+  Tensor out = Tensor::Zeros({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t lda = a.size(1);
+  int64_t ldb = b.size(1);
+#pragma omp parallel for if (m * n * k > kParallelCutoff)
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = pb + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      } else {
+        const float* bcol = pb + kk;  // b is (n, k): element (j, kk)
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * bcol[j * ldb];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b) {
+  DYHSL_CHECK_EQ(a.dim(), 3);
+  DYHSL_CHECK(b.dim() == 3 || b.dim() == 2);
+  int64_t batch = a.size(0);
+  bool shared_b = b.dim() == 2;
+  if (!shared_b) DYHSL_CHECK_EQ(b.size(0), batch);
+
+  int64_t m = trans_a ? a.size(2) : a.size(1);
+  int64_t k = trans_a ? a.size(1) : a.size(2);
+  int64_t b_rows = shared_b ? b.size(0) : b.size(1);
+  int64_t b_cols = shared_b ? b.size(1) : b.size(2);
+  int64_t kb = trans_b ? b_cols : b_rows;
+  int64_t n = trans_b ? b_rows : b_cols;
+  DYHSL_CHECK_MSG(k == kb, "BatchedMatMul inner dim mismatch " +
+                               ShapeToString(a.shape()) + " x " +
+                               ShapeToString(b.shape()));
+  Tensor out = Tensor::Zeros({batch, m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t a_step = a.size(1) * a.size(2);
+  int64_t b_step = shared_b ? 0 : b_rows * b_cols;
+  int64_t o_step = m * n;
+  int64_t lda = a.size(2);
+  int64_t ldb = b_cols;
+#pragma omp parallel for collapse(2) if (batch * m * n * k > kParallelCutoff)
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* pab = pa + bi * a_step;
+      const float* pbb = pb + bi * b_step;
+      float* orow = po + bi * o_step + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float av = trans_a ? pab[kk * lda + i] : pab[i * lda + kk];
+        if (av == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = pbb + kk * ldb;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        } else {
+          const float* bcol = pbb + kk;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * bcol[j * ldb];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  DYHSL_CHECK_EQ(a.dim(), 2);
+  return TransposePerm(a, {1, 0});
+}
+
+Tensor TransposePerm(const Tensor& a, const std::vector<int64_t>& perm) {
+  DYHSL_CHECK_EQ(static_cast<int64_t>(perm.size()), a.dim());
+  Shape out_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) out_shape[i] = a.size(perm[i]);
+  Tensor out(out_shape);
+  auto in_strides = StridesOf(a.shape());
+  auto out_strides = StridesOf(out_shape);
+  std::vector<int64_t> gather(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) gather[i] = in_strides[perm[i]];
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  int64_t rank = a.dim();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t rem = i, src = 0;
+    for (int64_t d = 0; d < rank; ++d) {
+      int64_t idx = rem / out_strides[d];
+      rem -= idx * out_strides[d];
+      src += idx * gather[d];
+    }
+    po[i] = pa[src];
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  DYHSL_CHECK(!parts.empty());
+  if (axis < 0) axis += parts[0].dim();
+  Shape out_shape = parts[0].shape();
+  int64_t total_axis = 0;
+  for (const Tensor& p : parts) {
+    DYHSL_CHECK_EQ(p.dim(), parts[0].dim());
+    for (int64_t d = 0; d < p.dim(); ++d) {
+      if (d != axis) DYHSL_CHECK_EQ(p.size(d), parts[0].size(d));
+    }
+    total_axis += p.size(axis);
+  }
+  out_shape[axis] = total_axis;
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= out_shape[d];
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < static_cast<int64_t>(out_shape.size()); ++d) {
+    inner *= out_shape[d];
+  }
+  int64_t out_row = total_axis * inner;
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    int64_t p_axis = p.size(axis);
+    int64_t p_row = p_axis * inner;
+    const float* ps = p.data();
+    float* pd = out.data() + offset * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(pd + o * out_row, ps + o * p_row, p_row * sizeof(float));
+    }
+    offset += p_axis;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
+  if (axis < 0) axis += a.dim();
+  DYHSL_CHECK_GE(start, 0);
+  DYHSL_CHECK_LE(start + length, a.size(axis));
+  Shape out_shape = a.shape();
+  out_shape[axis] = length;
+  Tensor out(out_shape);
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
+  int64_t in_row = a.size(axis) * inner;
+  int64_t out_row = length * inner;
+  const float* ps = a.data() + start * inner;
+  float* pd = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(pd + o * out_row, ps + o * in_row, out_row * sizeof(float));
+  }
+  return out;
+}
+
+Tensor TakeRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  DYHSL_CHECK_EQ(a.dim(), 2);
+  int64_t cols = a.size(1);
+  Tensor out({static_cast<int64_t>(indices.size()), cols});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t r = indices[i];
+    DYHSL_CHECK_GE(r, 0);
+    DYHSL_CHECK_LT(r, a.size(0));
+    std::memcpy(out.data() + i * cols, a.data() + r * cols,
+                cols * sizeof(float));
+  }
+  return out;
+}
+
+void ScatterAddRows(Tensor* dst, const std::vector<int64_t>& indices,
+                    const Tensor& src) {
+  DYHSL_CHECK_EQ(dst->dim(), 2);
+  DYHSL_CHECK_EQ(src.dim(), 2);
+  DYHSL_CHECK_EQ(src.size(0), static_cast<int64_t>(indices.size()));
+  DYHSL_CHECK_EQ(src.size(1), dst->size(1));
+  int64_t cols = dst->size(1);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t r = indices[i];
+    DYHSL_CHECK_GE(r, 0);
+    DYHSL_CHECK_LT(r, dst->size(0));
+    float* pd = dst->data() + r * cols;
+    const float* ps = src.data() + i * cols;
+    for (int64_t c = 0; c < cols; ++c) pd[c] += ps[c];
+  }
+}
+
+float SumAllScalar(const Tensor& a) {
+  const float* p = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAllScalar(const Tensor& a) {
+  DYHSL_CHECK_GT(a.numel(), 0);
+  return SumAllScalar(a) / static_cast<float>(a.numel());
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  if (axis < 0) axis += a.dim();
+  DYHSL_CHECK_GE(axis, 0);
+  DYHSL_CHECK_LT(axis, a.dim());
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
+  int64_t mid = a.size(axis);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
+  Shape out_shape;
+  for (int64_t d = 0; d < a.dim(); ++d) {
+    if (d == axis) {
+      if (keepdims) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(d));
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out = Tensor::Zeros(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+#pragma omp parallel for if (outer * inner > kParallelCutoff)
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* row = pa + (o * mid + m) * inner;
+      float* orow = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  if (axis < 0) axis += a.dim();
+  Tensor s = Sum(a, axis, keepdims);
+  ScaleInPlace(&s, 1.0f / static_cast<float>(a.size(axis)));
+  return s;
+}
+
+Tensor SoftmaxLastAxis(const Tensor& a) {
+  int64_t cols = a.size(-1);
+  int64_t rows = a.numel() / cols;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+#pragma omp parallel for if (a.numel() > kParallelCutoff)
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = pa + r * cols;
+    float* o = po + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    float inv = 1.0f / denom;
+    for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+PoolResult MaxPoolAxis(const Tensor& a, int64_t axis, int64_t window) {
+  if (axis < 0) axis += a.dim();
+  DYHSL_CHECK_GT(window, 0);
+  DYHSL_CHECK_EQ(a.size(axis) % window, 0);
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
+  int64_t mid = a.size(axis);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
+  int64_t out_mid = mid / window;
+  Shape out_shape = a.shape();
+  out_shape[axis] = out_mid;
+  PoolResult result;
+  result.values = Tensor(out_shape);
+  result.argmax.assign(result.values.numel(), 0);
+  const float* pa = a.data();
+  float* po = result.values.data();
+  int64_t* arg = result.argmax.data();
+#pragma omp parallel for if (outer * out_mid * inner > kParallelCutoff)
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t om = 0; om < out_mid; ++om) {
+      for (int64_t i = 0; i < inner; ++i) {
+        int64_t best_idx = (o * mid + om * window) * inner + i;
+        float best = pa[best_idx];
+        for (int64_t w = 1; w < window; ++w) {
+          int64_t idx = (o * mid + om * window + w) * inner + i;
+          if (pa[idx] > best) {
+            best = pa[idx];
+            best_idx = idx;
+          }
+        }
+        int64_t out_idx = (o * out_mid + om) * inner + i;
+        po[out_idx] = best;
+        arg[out_idx] = best_idx;
+      }
+    }
+  }
+  return result;
+}
+
+Tensor Conv1d(const Tensor& x, const Tensor& w, int64_t dilation,
+              int64_t pad_left, int64_t pad_right) {
+  DYHSL_CHECK_EQ(x.dim(), 3);
+  DYHSL_CHECK_EQ(w.dim(), 3);
+  int64_t batch = x.size(0), cin = x.size(1), len = x.size(2);
+  int64_t cout = w.size(0), kcin = w.size(1), ksize = w.size(2);
+  DYHSL_CHECK_EQ(cin, kcin);
+  int64_t reach = (ksize - 1) * dilation;
+  int64_t lout = len + pad_left + pad_right - reach;
+  DYHSL_CHECK_GT(lout, 0);
+  Tensor out = Tensor::Zeros({batch, cout, lout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* po = out.data();
+#pragma omp parallel for collapse(2) if (batch * cout * lout > 1024)
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* orow = po + (b * cout + co) * lout;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = px + (b * cin + ci) * len;
+        const float* wrow = pw + (co * cin + ci) * ksize;
+        for (int64_t k = 0; k < ksize; ++k) {
+          float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          // out[t] += w[k] * x[t - pad_left + k*dilation]
+          int64_t shift = k * dilation - pad_left;
+          int64_t t_lo = std::max<int64_t>(0, -shift);
+          int64_t t_hi = std::min<int64_t>(lout, len - shift);
+          for (int64_t t = t_lo; t < t_hi; ++t) {
+            orow[t] += wv * xrow[t + shift];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& w,
+                           const Shape& x_shape, int64_t dilation,
+                           int64_t pad_left) {
+  int64_t batch = x_shape[0], cin = x_shape[1], len = x_shape[2];
+  int64_t cout = w.size(0), ksize = w.size(2);
+  int64_t lout = grad_out.size(2);
+  Tensor gx = Tensor::Zeros(x_shape);
+  const float* pg = grad_out.data();
+  const float* pw = w.data();
+  float* px = gx.data();
+#pragma omp parallel for collapse(2) if (batch * cin > 8)
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      float* xrow = px + (b * cin + ci) * len;
+      for (int64_t co = 0; co < cout; ++co) {
+        const float* grow = pg + (b * cout + co) * lout;
+        const float* wrow = pw + (co * cin + ci) * ksize;
+        for (int64_t k = 0; k < ksize; ++k) {
+          float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          int64_t shift = k * dilation - pad_left;
+          int64_t t_lo = std::max<int64_t>(0, -shift);
+          int64_t t_hi = std::min<int64_t>(lout, len - shift);
+          for (int64_t t = t_lo; t < t_hi; ++t) {
+            xrow[t + shift] += wv * grow[t];
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor Conv1dBackwardWeight(const Tensor& grad_out, const Tensor& x,
+                            const Shape& w_shape, int64_t dilation,
+                            int64_t pad_left) {
+  int64_t batch = x.size(0), cin = x.size(1), len = x.size(2);
+  int64_t cout = w_shape[0], ksize = w_shape[2];
+  int64_t lout = grad_out.size(2);
+  Tensor gw = Tensor::Zeros(w_shape);
+  const float* pg = grad_out.data();
+  const float* px = x.data();
+  float* pw = gw.data();
+#pragma omp parallel for collapse(2) if (cout * cin > 8)
+  for (int64_t co = 0; co < cout; ++co) {
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      float* wrow = pw + (co * cin + ci) * ksize;
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* grow = pg + (b * cout + co) * lout;
+        const float* xrow = px + (b * cin + ci) * len;
+        for (int64_t k = 0; k < ksize; ++k) {
+          int64_t shift = k * dilation - pad_left;
+          int64_t t_lo = std::max<int64_t>(0, -shift);
+          int64_t t_hi = std::min<int64_t>(lout, len - shift);
+          double acc = 0.0;
+          for (int64_t t = t_lo; t < t_hi; ++t) {
+            acc += static_cast<double>(grow[t]) * xrow[t + shift];
+          }
+          wrow[k] += static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return gw;
+}
+
+float MaxAllScalar(const Tensor& a) {
+  DYHSL_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float mx = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) mx = std::max(mx, p[i]);
+  return mx;
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace dyhsl::tensor

@@ -1,0 +1,142 @@
+// Eager kernels over Tensor: elementwise (with numpy-style broadcasting),
+// matrix products, reductions, movement ops, pooling and convolution.
+//
+// These are the forward *and* backward building blocks used by the autograd
+// layer (src/autograd); they contain no differentiation logic themselves.
+
+#ifndef DYHSL_TENSOR_OPS_H_
+#define DYHSL_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::tensor {
+
+/// \name Broadcasting
+/// @{
+
+/// \brief Numpy-style broadcast result shape; aborts on incompatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// \brief Sums `t` over its broadcast axes so the result has `target` shape.
+/// Inverse of broadcasting, used by gradient accumulation.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+/// @}
+
+/// \name Elementwise binary (broadcasting)
+/// @{
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+/// @}
+
+/// \name Elementwise with scalar
+/// @{
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+/// @}
+
+/// \name In-place updates (same shape, no broadcast)
+/// @{
+/// dst += src
+void AddInPlace(Tensor* dst, const Tensor& src);
+/// dst += alpha * src
+void AxpyInPlace(Tensor* dst, float alpha, const Tensor& src);
+/// dst *= s
+void ScaleInPlace(Tensor* dst, float s);
+/// @}
+
+/// \name Elementwise unary
+/// @{
+Tensor Neg(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float slope);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sign(const Tensor& a);
+/// 1 where a > 0, else 0 (subgradient mask for Relu/Abs backward).
+Tensor Heaviside(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+/// @}
+
+/// \name Matrix products
+/// @{
+
+/// \brief 2-D product C = op(A) * op(B), where op transposes when requested.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// \brief Batched product over leading dim. `a` is (B, M, K); `b` is either
+/// (B, K, N) or 2-D (K, N) shared across the batch (trans flags apply to the
+/// trailing two axes).
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                     bool trans_b = false);
+/// @}
+
+/// \name Movement
+/// @{
+Tensor Transpose2D(const Tensor& a);
+/// \brief General axis permutation (copies).
+Tensor TransposePerm(const Tensor& a, const std::vector<int64_t>& perm);
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length);
+/// \brief out[i, :] = a[indices[i], :] for a 2-D `a`.
+Tensor TakeRows(const Tensor& a, const std::vector<int64_t>& indices);
+/// \brief dst[indices[i], :] += src[i, :] for 2-D tensors.
+void ScatterAddRows(Tensor* dst, const std::vector<int64_t>& indices,
+                    const Tensor& src);
+/// @}
+
+/// \name Reductions
+/// @{
+float SumAllScalar(const Tensor& a);
+float MeanAllScalar(const Tensor& a);
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims = false);
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims = false);
+/// @}
+
+/// \brief Numerically stable softmax over the last axis.
+Tensor SoftmaxLastAxis(const Tensor& a);
+
+/// \brief Result of a pooling op; `argmax` holds flat input indices per
+/// output element so the backward pass can scatter gradients.
+struct PoolResult {
+  Tensor values;
+  std::vector<int64_t> argmax;
+};
+
+/// \brief Non-overlapping max pooling along `axis` with the given window.
+/// size(axis) must be divisible by `window`.
+PoolResult MaxPoolAxis(const Tensor& a, int64_t axis, int64_t window);
+
+/// \name 1-D convolution (for TCN / STGCN / GraphWaveNet baselines)
+/// @{
+
+/// \brief x: (B, Cin, L), w: (Cout, Cin, K) -> (B, Cout, Lout) with
+/// Lout = L + pad_left + pad_right - (K-1)*dilation. Zero padding.
+Tensor Conv1d(const Tensor& x, const Tensor& w, int64_t dilation,
+              int64_t pad_left, int64_t pad_right);
+Tensor Conv1dBackwardInput(const Tensor& grad_out, const Tensor& w,
+                           const Shape& x_shape, int64_t dilation,
+                           int64_t pad_left);
+Tensor Conv1dBackwardWeight(const Tensor& grad_out, const Tensor& x,
+                            const Shape& w_shape, int64_t dilation,
+                            int64_t pad_left);
+/// @}
+
+/// \brief Max over all elements (helper for tests/metrics).
+float MaxAllScalar(const Tensor& a);
+
+/// \brief True if shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace dyhsl::tensor
+
+#endif  // DYHSL_TENSOR_OPS_H_

@@ -1,0 +1,160 @@
+#include "src/tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/check.h"
+
+namespace dyhsl::tensor {
+
+CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                  std::vector<Triplet> triplets) {
+  DYHSL_CHECK_GE(rows, 0);
+  DYHSL_CHECK_GE(cols, 0);
+  for (const Triplet& t : triplets) {
+    DYHSL_CHECK_GE(t.row, 0);
+    DYHSL_CHECK_LT(t.row, rows);
+    DYHSL_CHECK_GE(t.col, 0);
+    DYHSL_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  int64_t last_row = -1;
+  int64_t last_col = -1;
+  for (const Triplet& t : triplets) {
+    if (t.row == last_row && t.col == last_col) {
+      m.values_.back() += t.value;  // merge duplicate coordinate
+      continue;
+    }
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+    m.row_ptr_[t.row + 1] += 1;
+    last_row = t.row;
+    last_col = t.col;
+  }
+  for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (int64_t i = 0; i < n; ++i) t.push_back({i, i, 1.0f});
+  return FromTriplets(n, n, std::move(t));
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> t;
+  t.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(t));
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix m = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k];
+    }
+    if (sum <= 0.0) continue;
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.values_[k] *= inv;
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::SymNormalized() const {
+  DYHSL_CHECK_EQ(rows_, cols_);
+  std::vector<double> degree(rows_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      degree[r] += values_[k];
+    }
+  }
+  std::vector<float> dinv(rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    dinv[r] = degree[r] > 0.0
+                  ? static_cast<float>(1.0 / std::sqrt(degree[r]))
+                  : 0.0f;
+  }
+  CsrMatrix m = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.values_[k] *= dinv[r] * dinv[col_idx_[k]];
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::WithSelfLoops(float weight) const {
+  DYHSL_CHECK_EQ(rows_, cols_);
+  std::vector<Triplet> t;
+  t.reserve(values_.size() + rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({r, col_idx_[k], values_[k]});
+    }
+    t.push_back({r, r, weight});
+  }
+  return FromTriplets(rows_, cols_, std::move(t));
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor d = Tensor::Zeros({rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d.data()[r * cols_ + col_idx_[k]] += values_[k];
+    }
+  }
+  return d;
+}
+
+Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
+  DYHSL_CHECK(x.dim() == 2 || x.dim() == 3);
+  bool batched = x.dim() == 3;
+  int64_t batch = batched ? x.size(0) : 1;
+  int64_t xrows = batched ? x.size(1) : x.size(0);
+  int64_t f = batched ? x.size(2) : x.size(1);
+  DYHSL_CHECK_MSG(xrows == a.cols(),
+                  "SpMM dim mismatch: A is " + std::to_string(a.rows()) + "x" +
+                      std::to_string(a.cols()) + ", X rows " +
+                      std::to_string(xrows));
+  Shape out_shape = batched ? Shape{batch, a.rows(), f} : Shape{a.rows(), f};
+  Tensor out = Tensor::Zeros(out_shape);
+  const int64_t* row_ptr = a.row_ptr().data();
+  const int64_t* col_idx = a.col_idx().data();
+  const float* vals = a.values().data();
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t x_step = xrows * f;
+  int64_t o_step = a.rows() * f;
+#pragma omp parallel for collapse(2) if (batch * a.nnz() * f > 16384)
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      float* orow = po + b * o_step + r * f;
+      for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        float v = vals[k];
+        const float* xrow = px + b * x_step + col_idx[k] * f;
+        for (int64_t c = 0; c < f; ++c) orow[c] += v * xrow[c];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dyhsl::tensor

@@ -1,0 +1,112 @@
+#include "src/train/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace dyhsl::train {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'Y', 'H', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
+  auto named = module.NamedParameters();
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint64_t>(out, named.size());
+  for (const auto& [name, param] : named) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const tensor::Tensor& value = param.value();
+    WritePod<uint32_t>(out, static_cast<uint32_t>(value.dim()));
+    for (int64_t d = 0; d < value.dim(); ++d) {
+      WritePod<int64_t>(out, value.size(d));
+    }
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.numel() * sizeof(float)));
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(nn::Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a DyHSL checkpoint: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+
+  auto named = module->NamedParameters();
+  std::map<std::string, autograd::Variable*> by_name;
+  for (auto& [name, param] : named) by_name[name] = &param;
+  if (count != named.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(named.size()));
+  }
+
+  for (uint64_t p = 0; p < count; ++p) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return Status::IoError("corrupt parameter name in " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in.good() || !ReadPod(in, &rank) || rank > 8) {
+      return Status::IoError("corrupt parameter record in " + path);
+    }
+    tensor::Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &shape[d])) {
+        return Status::IoError("corrupt shape in " + path);
+      }
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("parameter '" + name + "' not in module");
+    }
+    autograd::Variable* target = it->second;
+    if (target->shape() != shape) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': file " +
+          tensor::ShapeToString(shape) + " vs module " +
+          tensor::ShapeToString(target->shape()));
+    }
+    in.read(reinterpret_cast<char*>(target->mutable_value()->data()),
+            static_cast<std::streamsize>(
+                tensor::NumElements(shape) * sizeof(float)));
+    if (!in.good()) {
+      return Status::IoError("truncated data for '" + name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dyhsl::train

@@ -1,0 +1,31 @@
+// Model checkpointing: save / restore the parameters of any nn::Module
+// (by name) so trained forecasters can be shipped and reloaded.
+//
+// Format (binary, little-endian host order):
+//   magic "DYH1"
+//   uint64 parameter count P
+//   P x [ uint32 name_len | name bytes | uint32 rank | int64 dims... |
+//         float data... ]
+// Loading matches by name and validates shapes; extra or missing names are
+// reported through Status so architecture drift is caught explicitly.
+
+#ifndef DYHSL_TRAIN_CHECKPOINT_H_
+#define DYHSL_TRAIN_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/core/status.h"
+#include "src/nn/module.h"
+
+namespace dyhsl::train {
+
+/// \brief Writes all named parameters of `module` to `path`.
+Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+
+/// \brief Restores parameters into `module` (matched by name; shapes must
+/// agree; the file must contain exactly the module's parameter set).
+Status LoadCheckpoint(nn::Module* module, const std::string& path);
+
+}  // namespace dyhsl::train
+
+#endif  // DYHSL_TRAIN_CHECKPOINT_H_

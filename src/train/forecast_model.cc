@@ -1,0 +1,52 @@
+#include "src/train/forecast_model.h"
+
+#include <cmath>
+
+#include "src/autograd/ops.h"
+#include "src/core/check.h"
+#include "src/tensor/ops.h"
+
+namespace dyhsl::train {
+
+namespace ag = ::dyhsl::autograd;
+namespace T = ::dyhsl::tensor;
+
+ForecastTask ForecastTask::FromDataset(const data::TrafficDataset& dataset) {
+  ForecastTask task;
+  task.num_nodes = dataset.num_nodes();
+  task.input_dim = dataset.num_features();
+  task.history = dataset.history();
+  task.horizon = dataset.horizon();
+  task.scaler_mean = dataset.scaler().mean();
+  task.scaler_std = dataset.scaler().stddev();
+  task.spatial_adj = dataset.network().graph.ToAdjacency();
+  task.district_labels = dataset.network().district;
+  task.steps_per_day = dataset.traffic().steps_per_day;
+  return task;
+}
+
+ag::Variable MaskedMaeLoss(const ag::Variable& pred,
+                           const tensor::Tensor& target,
+                           float mask_threshold) {
+  DYHSL_CHECK(pred.shape() == target.shape());
+  // Constant mask from the target: 1 where |truth| > threshold.
+  T::Tensor mask(target.shape());
+  double active = 0.0;
+  for (int64_t i = 0; i < target.numel(); ++i) {
+    bool keep = std::fabs(target.data()[i]) > mask_threshold;
+    mask.data()[i] = keep ? 1.0f : 0.0f;
+    active += keep;
+  }
+  if (active < 1.0) active = 1.0;
+  ag::Variable masked_err =
+      ag::Mul(ag::Abs(ag::Sub(pred, ag::Variable(target))),
+              ag::Variable(mask));
+  return ag::MulScalar(ag::SumAll(masked_err),
+                       1.0f / static_cast<float>(active));
+}
+
+ag::Variable Descale(const ag::Variable& scaled, float mean, float stddev) {
+  return ag::AddScalar(ag::MulScalar(scaled, stddev), mean);
+}
+
+}  // namespace dyhsl::train

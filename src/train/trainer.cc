@@ -1,0 +1,118 @@
+#include "src/train/trainer.h"
+
+#include <chrono>
+#include <limits>
+
+#include "src/core/logging.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dyhsl::train {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+TrainResult TrainModel(ForecastModel* model,
+                       const data::TrafficDataset& dataset,
+                       const TrainConfig& config) {
+  optim::Adam optimizer(model->Parameters(), config.learning_rate, 0.9f,
+                        0.999f, 1e-8f, config.weight_decay);
+  data::BatchIterator train_iter(&dataset, dataset.train_range(),
+                                 config.batch_size, /*shuffle=*/true,
+                                 config.seed);
+  TrainResult result;
+  auto run_start = Clock::now();
+  double best_val = std::numeric_limits<double>::infinity();
+  int64_t bad_epochs = 0;
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    train_iter.Reset();
+    data::BatchIterator::Batch batch;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    while (train_iter.Next(&batch)) {
+      if (config.max_batches_per_epoch > 0 &&
+          batches >= config.max_batches_per_epoch) {
+        break;
+      }
+      optimizer.ZeroGrad();
+      autograd::Variable pred = model->Forward(batch.x, /*training=*/true);
+      autograd::Variable loss = MaskedMaeLoss(pred, batch.y);
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.params(), config.grad_clip);
+      optimizer.Step();
+      loss_sum += loss.value().data()[0];
+      ++batches;
+    }
+    double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
+    result.epoch_losses.push_back(epoch_loss);
+    result.final_train_loss = epoch_loss;
+    ++result.epochs_run;
+
+    if (config.patience > 0) {
+      EvalResult val = EvaluateModel(model, dataset, dataset.val_range(),
+                                     config.batch_size,
+                                     config.max_val_batches);
+      if (val.overall.mae < best_val - 1e-6) {
+        best_val = val.overall.mae;
+        bad_epochs = 0;
+      } else {
+        ++bad_epochs;
+      }
+      result.best_val_mae = best_val;
+      if (config.verbose) {
+        DYHSL_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                        << config.epochs << " loss " << epoch_loss
+                        << " val MAE " << val.overall.mae;
+      }
+      if (bad_epochs >= config.patience) break;
+    } else if (config.verbose) {
+      DYHSL_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                      << config.epochs << " loss " << epoch_loss;
+    }
+  }
+  result.total_seconds = SecondsSince(run_start);
+  result.seconds_per_epoch =
+      result.epochs_run > 0 ? result.total_seconds / result.epochs_run : 0.0;
+  return result;
+}
+
+EvalResult EvaluateModel(ForecastModel* model,
+                         const data::TrafficDataset& dataset,
+                         data::TrafficDataset::SplitRange range,
+                         int64_t batch_size, int64_t max_batches) {
+  data::BatchIterator iter(&dataset, range, batch_size, /*shuffle=*/false,
+                           /*seed=*/1);
+  data::BatchIterator::Batch batch;
+  metrics::MetricAccumulator overall;
+  std::vector<metrics::MetricAccumulator> horizon(dataset.horizon());
+  EvalResult result;
+  auto start = std::chrono::steady_clock::now();
+  int64_t batches = 0;
+  while (iter.Next(&batch)) {
+    if (max_batches > 0 && batches >= max_batches) break;
+    autograd::Variable pred = model->Forward(batch.x, /*training=*/false);
+    const tensor::Tensor& p = pred.value();
+    overall.Add(p, batch.y);
+    for (int64_t t = 0; t < dataset.horizon(); ++t) {
+      horizon[t].Add(tensor::Slice(p, 1, t, 1),
+                     tensor::Slice(batch.y, 1, t, 1));
+    }
+    result.windows += batch.x.size(0);
+    ++batches;
+  }
+  result.seconds = SecondsSince(start);
+  result.overall = {overall.Mae(), overall.Rmse(), overall.Mape()};
+  for (auto& acc : horizon) {
+    result.per_horizon.push_back({acc.Mae(), acc.Rmse(), acc.Mape()});
+  }
+  return result;
+}
+
+}  // namespace dyhsl::train

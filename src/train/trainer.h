@@ -1,0 +1,64 @@
+// Training and evaluation harness shared by all neural models.
+
+#ifndef DYHSL_TRAIN_TRAINER_H_
+#define DYHSL_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/metrics/metrics.h"
+#include "src/train/forecast_model.h"
+
+namespace dyhsl::train {
+
+/// \brief Optimization schedule. Paper defaults: Adam, lr 1e-3, batch 32,
+/// 100 epochs; profiles scale epochs/batches down for CPU runs.
+struct TrainConfig {
+  int64_t epochs = 10;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  int64_t batch_size = 32;
+  /// 0 = use every training batch each epoch.
+  int64_t max_batches_per_epoch = 0;
+  float weight_decay = 0.0f;
+  /// Early stopping patience on validation MAE; 0 disables.
+  int64_t patience = 0;
+  /// Cap on validation batches per epoch (0 = all).
+  int64_t max_val_batches = 8;
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+/// \brief Outcome of a training run (feeds the Table IV scalability bench).
+struct TrainResult {
+  int64_t epochs_run = 0;
+  double total_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+  double final_train_loss = 0.0;
+  double best_val_mae = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// \brief Trains `model` on the dataset's training split.
+TrainResult TrainModel(ForecastModel* model,
+                       const data::TrafficDataset& dataset,
+                       const TrainConfig& config);
+
+/// \brief Evaluation outcome over a split.
+struct EvalResult {
+  metrics::ForecastMetrics overall;
+  std::vector<metrics::ForecastMetrics> per_horizon;
+  double seconds = 0.0;
+  int64_t windows = 0;
+};
+
+/// \brief Evaluates `model` over a window range (no gradients kept).
+EvalResult EvaluateModel(ForecastModel* model,
+                         const data::TrafficDataset& dataset,
+                         data::TrafficDataset::SplitRange range,
+                         int64_t batch_size, int64_t max_batches = 0);
+
+}  // namespace dyhsl::train
+
+#endif  // DYHSL_TRAIN_TRAINER_H_

@@ -1,0 +1,398 @@
+// Autograd correctness: every differentiable op is validated against
+// central finite differences through the GradCheck harness, plus tape
+// mechanics (accumulation, reuse, detach).
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/gradcheck.h"
+#include "src/autograd/ops.h"
+#include "src/autograd/variable.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/sparse.h"
+
+namespace dyhsl::autograd {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+Variable Param(T::Tensor t) { return Variable(std::move(t), true); }
+
+// Reduces any variable to a scalar through a fixed weighted sum so the
+// gradcheck objective is sensitive to every coordinate.
+Variable ToScalar(const Variable& v) {
+  Variable flat = Reshape(v, {1, -1});
+  // Deterministic weights 1, 2, 3, ... keep all coordinates distinguishable.
+  int64_t n = flat.size(1);
+  T::Tensor w({n, 1});
+  for (int64_t i = 0; i < n; ++i) {
+    w.data()[i] = 0.1f * static_cast<float>(i + 1);
+  }
+  return Reshape(MatMul(flat, Variable(w)), {1});
+}
+
+TEST(TapeTest, BackwardThroughScalarChain) {
+  Variable x = Param(T::Tensor::Scalar(3.0f));
+  Variable y = MulScalar(x, 2.0f);   // y = 2x
+  Variable z = Mul(y, y);            // z = 4x^2, dz/dx = 8x = 24
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 24.0f);
+}
+
+TEST(TapeTest, GradAccumulatesAcrossUses) {
+  Variable x = Param(T::Tensor::Scalar(5.0f));
+  Variable y = Add(x, x);  // dy/dx = 2
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 2.0f);
+}
+
+TEST(TapeTest, DiamondGraphGradient) {
+  // z = (x*2) + (x*3); dz/dx = 5.
+  Variable x = Param(T::Tensor::Scalar(1.0f));
+  Variable z = Add(MulScalar(x, 2.0f), MulScalar(x, 3.0f));
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 5.0f);
+}
+
+TEST(TapeTest, DetachStopsGradient) {
+  Variable x = Param(T::Tensor::Scalar(2.0f));
+  Variable d = Mul(x, x).Detach();
+  Variable z = Mul(d, x);  // only the direct x factor is differentiated
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 4.0f);  // d = 4 constant
+}
+
+TEST(TapeTest, ZeroGradClears) {
+  Variable x = Param(T::Tensor::Scalar(1.0f));
+  MulScalar(x, 3.0f).Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 3.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 0.0f);
+}
+
+TEST(TapeTest, NoGradLeafReceivesNothing) {
+  Variable x = Param(T::Tensor::Scalar(1.0f));
+  Variable c(T::Tensor::Scalar(10.0f));  // constant
+  Variable z = Mul(x, c);
+  z.Backward();
+  EXPECT_FALSE(c.has_grad());
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 10.0f);
+}
+
+class OpGradCheck : public ::testing::Test {
+ protected:
+  Rng rng_{42};
+
+  void Check(const std::function<Variable(const std::vector<Variable>&)>& f,
+             std::vector<Variable> inputs, float tol = 5e-2f) {
+    GradCheckReport report = GradCheck(f, std::move(inputs), 1e-2f, tol);
+    EXPECT_TRUE(report.ok)
+        << "max_rel_error=" << report.max_rel_error
+        << " max_abs_error=" << report.max_abs_error;
+  }
+};
+
+TEST_F(OpGradCheck, AddBroadcast) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Add(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_)),
+         Param(T::Tensor::Randn({4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SubBroadcastMiddle) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Sub(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({2, 3, 2}, &rng_)),
+         Param(T::Tensor::Randn({1, 3, 1}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MulElementwise) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Mul(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({3, 3}, &rng_)),
+         Param(T::Tensor::Randn({3, 3}, &rng_))});
+}
+
+TEST_F(OpGradCheck, DivStableDenominator) {
+  T::Tensor denom = T::AddScalar(T::Abs(T::Tensor::Randn({3, 3}, &rng_)), 2.0f);
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Div(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({3, 3}, &rng_)), Param(denom)});
+}
+
+TEST_F(OpGradCheck, UnaryChain) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Tanh(Sigmoid(MulScalar(in[0], 0.7f))));
+        },
+        {Param(T::Tensor::Randn({4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, ReluAwayFromKink) {
+  // Keep inputs away from 0 so finite differences are valid.
+  T::Tensor x = T::Tensor::Randn({4, 4}, &rng_);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.1f) x.data()[i] = 0.5f;
+  }
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Relu(in[0]));
+        },
+        {Param(x)});
+}
+
+TEST_F(OpGradCheck, LeakyReluAwayFromKink) {
+  T::Tensor x = T::Tensor::Randn({4, 4}, &rng_);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.1f) x.data()[i] = -0.5f;
+  }
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(LeakyRelu(in[0], 0.2f));
+        },
+        {Param(x)});
+}
+
+TEST_F(OpGradCheck, ExpLogSqrtPositiveDomain) {
+  T::Tensor x = T::AddScalar(T::Abs(T::Tensor::Randn({3, 2}, &rng_)), 1.0f);
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Log(Sqrt(Exp(MulScalar(in[0], 0.3f)))));
+        },
+        {Param(x)});
+}
+
+TEST_F(OpGradCheck, AbsAwayFromZero) {
+  T::Tensor x = T::Tensor::Randn({5}, &rng_);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.1f) x.data()[i] = 1.0f;
+  }
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Abs(in[0]));
+        },
+        {Param(x)});
+}
+
+TEST_F(OpGradCheck, MatMulPlain) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(MatMul(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_)),
+         Param(T::Tensor::Randn({4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MatMulTransA) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(MatMul(in[0], in[1], true, false));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_)),
+         Param(T::Tensor::Randn({4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MatMulTransB) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(MatMul(in[0], in[1], false, true));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_)),
+         Param(T::Tensor::Randn({2, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MatMulTransBoth) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(MatMul(in[0], in[1], true, true));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_)),
+         Param(T::Tensor::Randn({2, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMul) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({2, 3, 4}, &rng_)),
+         Param(T::Tensor::Randn({2, 4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulTransB) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], false, true));
+        },
+        {Param(T::Tensor::Randn({2, 3, 4}, &rng_)),
+         Param(T::Tensor::Randn({2, 5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulTransA) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, false));
+        },
+        {Param(T::Tensor::Randn({2, 4, 3}, &rng_)),
+         Param(T::Tensor::Randn({2, 4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedRhs) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({2, 3, 4}, &rng_)),
+         Param(T::Tensor::Randn({4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedRhsTransB) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], false, true));
+        },
+        {Param(T::Tensor::Randn({2, 3, 4}, &rng_)),
+         Param(T::Tensor::Randn({5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SpMMGradFlowsThroughDense) {
+  auto adj = T::SparseOp::Create(T::CsrMatrix::FromTriplets(
+      3, 3,
+      {{0, 1, 0.5f}, {1, 0, 0.25f}, {1, 2, 0.75f}, {2, 2, 1.0f}}));
+  Check([adj](const std::vector<Variable>& in) {
+          return ToScalar(SpMM(adj, in[0]));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SpMMBatched) {
+  auto adj = T::SparseOp::Create(T::CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0f}, {0, 1, 0.5f}, {2, 1, 0.3f}}));
+  Check([adj](const std::vector<Variable>& in) {
+          return ToScalar(SpMM(adj, in[0]));
+        },
+        {Param(T::Tensor::Randn({2, 3, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, ReshapeTransposeRoundTrip) {
+  Check([](const std::vector<Variable>& in) {
+          Variable t = TransposePerm(in[0], {1, 0, 2});
+          return ToScalar(Reshape(t, {3, -1}));
+        },
+        {Param(T::Tensor::Randn({3, 3, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, ConcatAndSlice) {
+  Check([](const std::vector<Variable>& in) {
+          Variable c = Concat({in[0], in[1]}, 1);
+          return ToScalar(Slice(c, 1, 1, 3));
+        },
+        {Param(T::Tensor::Randn({2, 2}, &rng_)),
+         Param(T::Tensor::Randn({2, 3}, &rng_))});
+}
+
+TEST_F(OpGradCheck, EmbeddingLookupRepeatedIndices) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(EmbeddingLookup(in[0], {0, 2, 2, 1}));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SumMeanAxes) {
+  Check([](const std::vector<Variable>& in) {
+          Variable s = Sum(in[0], 0);
+          Variable m = Mean(in[0], 1, /*keepdims=*/true);
+          return Add(ToScalar(s), ToScalar(m));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SumAllMeanAll) {
+  Check([](const std::vector<Variable>& in) {
+          return Add(SumAll(in[0]), MeanAll(in[0]));
+        },
+        {Param(T::Tensor::Randn({2, 3}, &rng_))});
+}
+
+TEST_F(OpGradCheck, SoftmaxLastAxis) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(SoftmaxLastAxis(in[0]));
+        },
+        {Param(T::Tensor::Randn({3, 5}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MaxPoolAxisDistinctValues) {
+  // Distinct values keep the argmax stable under perturbation.
+  T::Tensor x({2, 4, 3});
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>((i * 7) % 24) + 0.01f * i;
+  }
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(MaxPoolAxis(in[0], 1, 2));
+        },
+        {Param(x)});
+}
+
+TEST_F(OpGradCheck, Conv1dCausalDilated) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Conv1d(in[0], in[1], /*dilation=*/2,
+                                 /*pad_left=*/2, /*pad_right=*/0));
+        },
+        {Param(T::Tensor::Randn({2, 3, 6}, &rng_)),
+         Param(T::Tensor::Randn({4, 3, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, MaeMseLosses) {
+  // Keep pred - target away from zero for MAE differentiability.
+  T::Tensor pred = T::Tensor::Randn({3, 3}, &rng_);
+  T::Tensor target = T::AddScalar(pred.Clone(), 1.5f);
+  Check([target](const std::vector<Variable>& in) {
+          Variable t(target);
+          return Add(MaeLoss(in[0], t), MseLoss(in[0], t));
+        },
+        {Param(pred)});
+}
+
+TEST(DropoutTest, IdentityInEval) {
+  Rng rng(3);
+  Variable x(T::Tensor::Randn({4, 4}, &rng), true);
+  Variable y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(x.value().SharesStorageWith(y.value()));
+}
+
+TEST(DropoutTest, MaskScalesSurvivors) {
+  Rng rng(3);
+  Variable x(T::Tensor::Ones({1000}), true);
+  Variable y = Dropout(x, 0.5f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  for (float v : y.value().ToVector()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(5);
+  Variable x(T::Tensor::Ones({100}), true);
+  Variable y = Dropout(x, 0.3f, true, &rng);
+  SumAll(y).Backward();
+  for (int64_t i = 0; i < 100; ++i) {
+    float out = y.value().data()[i];
+    float g = x.grad().data()[i];
+    EXPECT_FLOAT_EQ(g, out);  // both equal the mask value for x = 1
+  }
+}
+
+TEST(SpMMTest, ForwardMatchesDense) {
+  Rng rng(9);
+  auto csr = T::CsrMatrix::FromTriplets(
+      4, 3, {{0, 0, 2.0f}, {1, 2, -1.0f}, {3, 1, 0.5f}, {3, 2, 1.5f}});
+  T::Tensor x = T::Tensor::Randn({3, 5}, &rng);
+  T::Tensor dense = csr.ToDense();
+  T::Tensor want = T::MatMul(dense, x);
+  T::Tensor got = T::SpMM(csr, x);
+  for (int64_t i = 0; i < want.numel(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace dyhsl::autograd

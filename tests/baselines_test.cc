@@ -1,0 +1,237 @@
+// Baseline zoo tests.
+//
+// The parameterized suite sweeps every neural model in the registry through
+// the same battery (shape, finiteness, gradient flow, determinism, one
+// optimization step reduces loss); classical models get analytic checks.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/ops.h"
+#include "src/baselines/classical.h"
+#include "src/data/dataset.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+#include "src/train/model_zoo.h"
+#include "src/train/trainer.h"
+
+namespace dyhsl::train {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+namespace ag = ::dyhsl::autograd;
+
+// One small dataset shared by every test in this file.
+const data::TrafficDataset& SharedDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetSpec spec = data::DatasetSpec::Pems08Like(0.1, 2, 5);
+    return new data::TrafficDataset(data::TrafficDataset::Generate(spec));
+  }();
+  return *dataset;
+}
+
+tensor::Tensor SharedBatchX(int64_t b) {
+  data::BatchIterator it(&SharedDataset(), {0, b}, b, false, 1);
+  data::BatchIterator::Batch batch;
+  EXPECT_TRUE(it.Next(&batch));
+  return batch.x;
+}
+
+tensor::Tensor SharedBatchY(int64_t b) {
+  data::BatchIterator it(&SharedDataset(), {0, b}, b, false, 1);
+  data::BatchIterator::Batch batch;
+  EXPECT_TRUE(it.Next(&batch));
+  return batch.y;
+}
+
+class NeuralZooTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<ForecastModel> MakeModel() {
+    ZooConfig cfg;
+    cfg.hidden_dim = 8;
+    cfg.seed = 13;
+    return MakeNeuralModel(GetParam(),
+                           ForecastTask::FromDataset(SharedDataset()), cfg);
+  }
+};
+
+TEST_P(NeuralZooTest, ForwardShapeAndFinite) {
+  auto model = MakeModel();
+  tensor::Tensor x = SharedBatchX(2);
+  ag::Variable y = model->Forward(x, /*training=*/false);
+  const auto& ds = SharedDataset();
+  EXPECT_EQ(y.shape(), (T::Shape{2, ds.horizon(), ds.num_nodes()}));
+  for (float v : y.value().ToVector()) {
+    ASSERT_TRUE(std::isfinite(v)) << model->name();
+  }
+}
+
+TEST_P(NeuralZooTest, GradientReachesSomeParameters) {
+  auto model = MakeModel();
+  tensor::Tensor x = SharedBatchX(2);
+  ag::Variable y = model->Forward(x, /*training=*/true);
+  ag::MeanAll(y).Backward();
+  int64_t with_grad = 0;
+  for (const auto& p : model->Parameters()) {
+    if (p.has_grad()) ++with_grad;
+  }
+  EXPECT_GT(with_grad, 0) << model->name();
+  // The vast majority of parameters must participate.
+  EXPECT_GE(with_grad * 10,
+            static_cast<int64_t>(model->Parameters().size()) * 9)
+      << model->name();
+}
+
+TEST_P(NeuralZooTest, DeterministicEvalForward) {
+  auto model = MakeModel();
+  tensor::Tensor x = SharedBatchX(2);
+  T::Tensor y1 = model->Forward(x, false).value();
+  T::Tensor y2 = model->Forward(x, false).value();
+  EXPECT_EQ(y1.ToVector(), y2.ToVector()) << model->name();
+}
+
+TEST_P(NeuralZooTest, OneAdamStepReducesLoss) {
+  auto model = MakeModel();
+  tensor::Tensor x = SharedBatchX(4);
+  tensor::Tensor y = SharedBatchY(4);
+  optim::Adam adam(model->Parameters(), 5e-3f);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 6; ++step) {
+    adam.ZeroGrad();
+    ag::Variable loss = MaskedMaeLoss(model->Forward(x, true), y);
+    if (step == 0) first_loss = loss.value().data()[0];
+    last_loss = loss.value().data()[0];
+    loss.Backward();
+    optim::ClipGradNorm(adam.params(), 5.0f);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss) << model->name();
+}
+
+TEST_P(NeuralZooTest, ParameterCountPositiveAndConsistent) {
+  auto model = MakeModel();
+  int64_t total = 0;
+  for (const auto& p : model->Parameters()) total += p.numel();
+  EXPECT_EQ(total, model->ParameterCount());
+  EXPECT_GT(total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNeuralModels, NeuralZooTest, ::testing::ValuesIn(NeuralModelKeys()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+class ClassicalZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClassicalZooTest, FitPredictShapeAndFinite) {
+  auto model = MakeClassicalModel(GetParam());
+  const auto& ds = SharedDataset();
+  model->Fit(ds);
+  tensor::Tensor pred = model->Predict(ds, ds.test_range().begin);
+  EXPECT_EQ(pred.shape(), (T::Shape{ds.horizon(), ds.num_nodes()}));
+  for (float v : pred.ToVector()) {
+    ASSERT_TRUE(std::isfinite(v)) << model->name();
+    ASSERT_GE(v, 0.0f) << model->name() << " predicted negative flow";
+  }
+}
+
+TEST_P(ClassicalZooTest, BeatsConstantZeroPredictor) {
+  auto model = MakeClassicalModel(GetParam());
+  const auto& ds = SharedDataset();
+  model->Fit(ds);
+  auto m = baselines::EvaluateClassical(model.get(), ds, ds.test_range(),
+                                        /*max_windows=*/40);
+  // A useful model must do noticeably better than predicting zero
+  // (MAE of zero predictor = mean masked flow).
+  metrics::MetricAccumulator zero_acc;
+  for (int64_t t0 = ds.test_range().begin;
+       t0 < std::min(ds.test_range().begin + 40, ds.test_range().end);
+       ++t0) {
+    tensor::Tensor truth = ds.MakeTarget(t0);
+    zero_acc.Add(T::Tensor::Zeros(truth.shape()), truth);
+  }
+  EXPECT_LT(m.mae, 0.8 * zero_acc.Mae()) << model->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassicalModels, ClassicalZooTest,
+                         ::testing::ValuesIn(ClassicalModelKeys()));
+
+TEST(HistoricalAverageTest, RecoversPeriodicSignal) {
+  // On purely periodic data HA should be near-perfect.
+  const auto& ds = SharedDataset();
+  baselines::HistoricalAverage ha;
+  ha.Fit(ds);
+  auto m = baselines::EvaluateClassical(&ha, ds, ds.val_range(), 30);
+  // Flow scale is O(150); periodic buckets must be far better than scale.
+  EXPECT_LT(m.mae, 80.0);
+}
+
+TEST(ArimaTest, NearPerfectOnLinearTrend) {
+  // Hand-build a tiny dataset-free check through the public API: ARIMA on
+  // the shared dataset should produce finite forecasts with MAE below HA's
+  // on short horizons (difference models track local level).
+  const auto& ds = SharedDataset();
+  baselines::Arima arima;
+  arima.Fit(ds);
+  tensor::Tensor p = arima.Predict(ds, ds.val_range().begin);
+  // First horizon step should be close to the last observed value.
+  float last_obs = ds.traffic().flow.At(
+      {ds.val_range().begin + ds.history() - 1, 0});
+  EXPECT_NEAR(p.At({0, 0}), last_obs, 60.0f);
+}
+
+TEST(VarTest, UsesCrossSensorInformation) {
+  const auto& ds = SharedDataset();
+  baselines::Var var(2, 1e-1f);
+  var.Fit(ds);
+  auto m = baselines::EvaluateClassical(&var, ds, ds.val_range(), 30);
+  EXPECT_GT(m.mae, 0.0);
+  EXPECT_LT(m.mae, 100.0);
+}
+
+TEST(ModelZooTest, KeysAreUniqueAndConstructible) {
+  std::set<std::string> seen;
+  for (const std::string& k : NeuralModelKeys()) {
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+  }
+  for (const std::string& k : ClassicalModelKeys()) {
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+  }
+}
+
+TEST(ModelZooTest, PaperReferenceLookup) {
+  PaperRow row;
+  ASSERT_TRUE(PaperTable3Reference("DyHSL", "SynPEMS04", &row));
+  EXPECT_DOUBLE_EQ(row.mae, 17.66);
+  ASSERT_TRUE(PaperTable3Reference("HA", "SynPEMS03", &row));
+  EXPECT_DOUBLE_EQ(row.mae, 31.58);
+  EXPECT_FALSE(PaperTable3Reference("NotAModel", "SynPEMS03", &row));
+  EXPECT_FALSE(PaperTable3Reference("DyHSL", "NotADataset", &row));
+}
+
+TEST(ModelZooTest, DyHslHasCompetitiveParameterBudget) {
+  // Table IV: DyHSL should not be the parameter-heaviest model by far.
+  ForecastTask task = ForecastTask::FromDataset(SharedDataset());
+  ZooConfig cfg;
+  cfg.hidden_dim = 16;
+  auto dyhsl = MakeNeuralModel("DyHSL", task, cfg);
+  auto fclstm = MakeNeuralModel("FC-LSTM", task, cfg);
+  EXPECT_GT(dyhsl->ParameterCount(), 0);
+  // FC-LSTM scales with N^2-ish (N inputs x hidden x T' x N outputs), the
+  // low-rank DyHSL should be comparable or smaller at equal hidden size.
+  EXPECT_LT(dyhsl->ParameterCount(), 4 * fclstm->ParameterCount());
+}
+
+}  // namespace
+}  // namespace dyhsl::train

@@ -1,0 +1,118 @@
+// Tests for model checkpointing: round trips, mismatch detection, and a
+// trained-model save/restore through the public forecasting API.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/data/dataset.h"
+#include "src/models/dyhsl.h"
+#include "src/nn/layers.h"
+#include "src/train/checkpoint.h"
+#include "src/train/trainer.h"
+
+namespace dyhsl::train {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, LinearRoundTrip) {
+  Rng rng(3);
+  nn::Linear source(4, 3, &rng);
+  nn::Linear target(4, 3, &rng);  // different random init
+  std::string path = TempPath("linear.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(&target, path).ok());
+  auto a = source.NamedParameters();
+  auto b = target.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].second.value().ToVector(),
+              b[i].second.value().ToVector());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  Rng rng(4);
+  nn::Linear source(4, 3, &rng);
+  nn::Linear wrong(5, 3, &rng);
+  std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  Status status = LoadCheckpoint(&wrong, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsParameterCountMismatch) {
+  Rng rng(5);
+  nn::Linear source(4, 3, &rng, /*bias=*/true);
+  nn::Linear no_bias(4, 3, &rng, /*bias=*/false);
+  std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  EXPECT_FALSE(LoadCheckpoint(&no_bias, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  std::string path = TempPath("garbage.ckpt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  Rng rng(6);
+  nn::Linear module(2, 2, &rng);
+  Status status = LoadCheckpoint(&module, path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  Rng rng(7);
+  nn::Linear module(2, 2, &rng);
+  Status status = LoadCheckpoint(&module, "/nonexistent/x.ckpt");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, TrainedDyHslRestoresExactPredictions) {
+  data::TrafficDataset dataset = data::TrafficDataset::Generate(
+      data::DatasetSpec::Pems08Like(0.1, 2, 9));
+  ForecastTask task = ForecastTask::FromDataset(dataset);
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.prior_layers = 1;
+  cfg.mhce_layers = 1;
+  cfg.num_hyperedges = 4;
+  cfg.window_sizes = {1, 12};
+  cfg.dropout = 0.0f;
+  models::DyHsl trained(task, cfg);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.max_batches_per_epoch = 5;
+  TrainModel(&trained, dataset, tc);
+
+  std::string path = TempPath("dyhsl.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(trained, path).ok());
+
+  models::DyHsl restored(task, cfg);
+  ASSERT_TRUE(LoadCheckpoint(&restored, path).ok());
+
+  data::BatchIterator it(&dataset, {0, 2}, 2, false, 1);
+  data::BatchIterator::Batch batch;
+  it.Next(&batch);
+  T::Tensor y1 = trained.Forward(batch.x, false).value();
+  T::Tensor y2 = restored.Forward(batch.x, false).value();
+  EXPECT_EQ(y1.ToVector(), y2.ToVector());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dyhsl::train

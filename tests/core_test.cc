@@ -1,0 +1,132 @@
+// Unit tests for core utilities: Status/Result, Rng, run profiles.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/profile.h"
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+namespace dyhsl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIoError,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Split();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+TEST(ProfileTest, ParseNames) {
+  EXPECT_EQ(ParseRunProfile("tiny"), RunProfile::kTiny);
+  EXPECT_EQ(ParseRunProfile("full"), RunProfile::kFull);
+  EXPECT_EQ(ParseRunProfile("quick"), RunProfile::kQuick);
+  EXPECT_EQ(ParseRunProfile("garbage"), RunProfile::kQuick);
+}
+
+TEST(ProfileTest, KnobsMonotoneInScale) {
+  ProfileKnobs tiny = GetProfileKnobs(RunProfile::kTiny);
+  ProfileKnobs quick = GetProfileKnobs(RunProfile::kQuick);
+  ProfileKnobs full = GetProfileKnobs(RunProfile::kFull);
+  EXPECT_LT(tiny.node_scale, quick.node_scale);
+  EXPECT_LT(quick.node_scale, full.node_scale);
+  EXPECT_LE(tiny.train_epochs, quick.train_epochs);
+  EXPECT_LE(quick.train_epochs, full.train_epochs);
+}
+
+TEST(ProfileTest, RoundTripNames) {
+  for (RunProfile p :
+       {RunProfile::kTiny, RunProfile::kQuick, RunProfile::kFull}) {
+    EXPECT_EQ(ParseRunProfile(RunProfileName(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace dyhsl

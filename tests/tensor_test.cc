@@ -1,0 +1,293 @@
+// Unit tests for the dense tensor library: construction, movement ops,
+// broadcasting arithmetic, matmuls, reductions, pooling and convolution.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::tensor {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndFill) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.ToVector()) EXPECT_EQ(v, 0.0f);
+  t.Fill(2.5f);
+  for (float v : t.ToVector()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At({0, 0}), 1.0f);
+  EXPECT_EQ(t.At({0, 1}), 2.0f);
+  EXPECT_EQ(t.At({1, 0}), 3.0f);
+  EXPECT_EQ(t.At({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor t = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_TRUE(t.SharesStorageWith(r));
+  r.Set({0, 1}, 42.0f);
+  EXPECT_EQ(t.At({0, 1}), 42.0f);
+}
+
+TEST(TensorTest, ReshapeInfersAxis) {
+  Tensor t = Tensor::Zeros({4, 6});
+  Tensor r = t.Reshape({2, -1});
+  EXPECT_EQ(r.size(1), 12);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Ones({3});
+  Tensor c = t.Clone();
+  EXPECT_FALSE(t.SharesStorageWith(c));
+  c.Fill(7.0f);
+  EXPECT_EQ(t.At({0}), 1.0f);
+}
+
+TEST(TensorTest, ArangeAndScalar) {
+  Tensor a = Tensor::Arange(4);
+  EXPECT_EQ(a.ToVector(), (std::vector<float>{0, 1, 2, 3}));
+  EXPECT_EQ(Tensor::Scalar(3.5f).At({0}), 3.5f);
+}
+
+TEST(TensorTest, RandnDeterministicGivenSeed) {
+  Rng rng1(7), rng2(7);
+  Tensor a = Tensor::Randn({16}, &rng1);
+  Tensor b = Tensor::Randn({16}, &rng2);
+  EXPECT_EQ(a.ToVector(), b.ToVector());
+}
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(OpsTest, BroadcastRowBias) {
+  Tensor a = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<float>{1, 2, 3, 2, 3, 4}));
+}
+
+TEST(OpsTest, BroadcastScalar) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Tensor::Scalar(10.0f);
+  EXPECT_EQ(Mul(a, s).ToVector(), (std::vector<float>{10, 20, 30}));
+}
+
+TEST(OpsTest, BroadcastMiddleAxis) {
+  // (2, 1, 2) + (1, 3, 1) -> (2, 3, 2)
+  Tensor a = Tensor::FromVector({2, 1, 2}, {0, 1, 10, 11});
+  Tensor b = Tensor::FromVector({1, 3, 1}, {100, 200, 300});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 2}));
+  EXPECT_EQ(c.At({0, 0, 0}), 100.0f);
+  EXPECT_EQ(c.At({0, 2, 1}), 301.0f);
+  EXPECT_EQ(c.At({1, 1, 0}), 210.0f);
+}
+
+TEST(OpsTest, ReduceToShapeInvertsBroadcast) {
+  Tensor g = Tensor::Ones({2, 3});
+  Tensor r = ReduceToShape(g, {3});
+  EXPECT_EQ(r.ToVector(), (std::vector<float>{2, 2, 2}));
+  Tensor r2 = ReduceToShape(g, {2, 1});
+  EXPECT_EQ(r2.ToVector(), (std::vector<float>{3, 3}));
+}
+
+TEST(OpsTest, MatMulBasic) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatMulTransposeFlagsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 5}, &rng);
+  Tensor b = Tensor::Randn({5, 6}, &rng);
+  Tensor ref = MatMul(a, b);
+  Tensor at = Transpose2D(a);
+  Tensor bt = Transpose2D(b);
+  Tensor c1 = MatMul(at, b, /*trans_a=*/true, /*trans_b=*/false);
+  Tensor c2 = MatMul(a, bt, /*trans_a=*/false, /*trans_b=*/true);
+  Tensor c3 = MatMul(at, bt, /*trans_a=*/true, /*trans_b=*/true);
+  for (int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(c1.data()[i], ref.data()[i], 1e-4f);
+    EXPECT_NEAR(c2.data()[i], ref.data()[i], 1e-4f);
+    EXPECT_NEAR(c3.data()[i], ref.data()[i], 1e-4f);
+  }
+}
+
+TEST(OpsTest, BatchedMatMulMatchesPerBatch) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor b = Tensor::Randn({3, 5, 2}, &rng);
+  Tensor c = BatchedMatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 4, 2}));
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor ab = Slice(a, 0, bi, 1).Reshape({4, 5});
+    Tensor bb = Slice(b, 0, bi, 1).Reshape({5, 2});
+    Tensor ref = MatMul(ab, bb);
+    Tensor got = Slice(c, 0, bi, 1).Reshape({4, 2});
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, BatchedMatMulSharedRhs) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor w = Tensor::Randn({4, 5}, &rng);
+  Tensor c = BatchedMatMul(a, w);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+  Tensor folded = MatMul(a.Reshape({6, 4}), w);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.data()[i], folded.data()[i], 1e-4f);
+  }
+}
+
+TEST(OpsTest, BatchedMatMulTransB) {
+  Rng rng(17);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 6, 4}, &rng);
+  Tensor c = BatchedMatMul(a, b, false, /*trans_b=*/true);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 6}));
+  for (int64_t bi = 0; bi < 2; ++bi) {
+    Tensor ab = Slice(a, 0, bi, 1).Reshape({3, 4});
+    Tensor bb = Slice(b, 0, bi, 1).Reshape({6, 4});
+    Tensor ref = MatMul(ab, Transpose2D(bb));
+    Tensor got = Slice(c, 0, bi, 1).Reshape({3, 6});
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, TransposePerm3D) {
+  Tensor a = Tensor::FromVector({2, 1, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = TransposePerm(a, {2, 0, 1});
+  EXPECT_EQ(t.shape(), (Shape{3, 2, 1}));
+  EXPECT_EQ(t.At({0, 0, 0}), 0.0f);
+  EXPECT_EQ(t.At({0, 1, 0}), 3.0f);
+  EXPECT_EQ(t.At({2, 1, 0}), 5.0f);
+}
+
+TEST(OpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  EXPECT_EQ(Concat({a, b}, 0).ToVector(), (std::vector<float>{1, 2, 3, 4}));
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{1, 4}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, SliceMiddleAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{1, 2, 4, 5}));
+}
+
+TEST(OpsTest, TakeAndScatterRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor taken = TakeRows(a, {2, 0});
+  EXPECT_EQ(taken.ToVector(), (std::vector<float>{5, 6, 1, 2}));
+  Tensor dst = Tensor::Zeros({3, 2});
+  ScatterAddRows(&dst, {1, 1}, Tensor::Ones({2, 2}));
+  EXPECT_EQ(dst.ToVector(), (std::vector<float>{0, 0, 2, 2, 0, 0}));
+}
+
+TEST(OpsTest, SumMeanAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Sum(a, 0).ToVector(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(Sum(a, 1).ToVector(), (std::vector<float>{6, 15}));
+  EXPECT_EQ(Sum(a, 1, true).shape(), (Shape{2, 1}));
+  EXPECT_EQ(Mean(a, 1).ToVector(), (std::vector<float>{2, 5}));
+  EXPECT_FLOAT_EQ(SumAllScalar(a), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAllScalar(a), 3.5f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({4, 7}, &rng, 3.0f);
+  Tensor s = SoftmaxLastAxis(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 7; ++c) sum += s.At({r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxStableForLargeInputs) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000, 1001, 1002});
+  Tensor s = SoftmaxLastAxis(a);
+  EXPECT_FALSE(std::isnan(s.At({0, 0})));
+  EXPECT_GT(s.At({0, 2}), s.At({0, 0}));
+}
+
+TEST(OpsTest, MaxPoolAxisValuesAndArgmax) {
+  // (1, 4, 2) pooled along axis 1 with window 2.
+  Tensor a = Tensor::FromVector({1, 4, 2}, {1, 8, 3, 2, 5, 0, 4, 9});
+  PoolResult r = MaxPoolAxis(a, 1, 2);
+  EXPECT_EQ(r.values.shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(r.values.ToVector(), (std::vector<float>{3, 8, 5, 9}));
+  EXPECT_EQ(r.argmax[0], 2);  // flat index of 3
+  EXPECT_EQ(r.argmax[1], 1);  // flat index of 8
+}
+
+TEST(OpsTest, UnaryKernels) {
+  Tensor a = Tensor::FromVector({4}, {-2, -0.5, 0, 3});
+  EXPECT_EQ(Relu(a).ToVector(), (std::vector<float>{0, 0, 0, 3}));
+  EXPECT_EQ(Abs(a).ToVector(), (std::vector<float>{2, 0.5, 0, 3}));
+  EXPECT_EQ(Sign(a).ToVector(), (std::vector<float>{-1, -1, 0, 1}));
+  EXPECT_EQ(Heaviside(a).ToVector(), (std::vector<float>{0, 0, 0, 1}));
+  EXPECT_EQ(Clamp(a, -1, 1).ToVector(), (std::vector<float>{-1, -0.5, 0, 1}));
+  Tensor lr = LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(lr.At({0}), -0.2f);
+  EXPECT_FLOAT_EQ(lr.At({3}), 3.0f);
+}
+
+TEST(OpsTest, Conv1dIdentityKernel) {
+  // Kernel [1] with K=1 is the identity.
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector({1, 1, 1}, {1});
+  Tensor y = Conv1d(x, w, 1, 0, 0);
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, Conv1dCausalDifference) {
+  // Kernel [-1, 1] with causal left pad computes x[t] - x[t-1].
+  Tensor x = Tensor::FromVector({1, 1, 4}, {1, 3, 6, 10});
+  Tensor w = Tensor::FromVector({1, 1, 2}, {-1, 1});
+  Tensor y = Conv1d(x, w, 1, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, Conv1dDilation) {
+  // Dilated difference: y[t] = x[t] - x[t-2].
+  Tensor x = Tensor::FromVector({1, 1, 5}, {1, 2, 4, 7, 11});
+  Tensor w = Tensor::FromVector({1, 1, 2}, {-1, 1});
+  Tensor y = Conv1d(x, w, /*dilation=*/2, /*pad_left=*/2, /*pad_right=*/0);
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{1, 2, 3, 5, 7}));
+}
+
+TEST(OpsTest, Conv1dMultiChannelShape) {
+  Rng rng(23);
+  Tensor x = Tensor::Randn({2, 3, 8}, &rng);
+  Tensor w = Tensor::Randn({5, 3, 2}, &rng);
+  Tensor y = Conv1d(x, w, 1, 1, 0);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+}
+
+}  // namespace
+}  // namespace dyhsl::tensor
