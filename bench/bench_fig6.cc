@@ -86,14 +86,6 @@ int Main() {
   }
 
   // Sensor selection per the paper's four panels.
-  auto variance = [&](const std::vector<float>& s) {
-    double m = 0;
-    for (float v : s) m += v;
-    m /= s.size();
-    double var = 0;
-    for (float v : s) var += (v - m) * (v - m);
-    return var / s.size();
-  };
   // (a) regular: sensor with lowest noise-to-profile ratio -> lowest
   //     high-frequency energy; approximate by smallest lag-1 differences.
   auto roughness = [&](const std::vector<float>& s) {

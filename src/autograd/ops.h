@@ -2,8 +2,11 @@
 //
 // Each function computes its forward value with the eager kernels in
 // src/tensor and attaches a backward closure implementing the exact
-// vector-Jacobian product. Numerical gradient checks for every op live in
-// tests/autograd_test.cc.
+// vector-Jacobian product. Every op declared here has a finite-difference
+// gradient check in tests/autograd_test.cc (OpGradCheck suite) — including
+// the subgradient ops (Relu, LeakyRelu, Abs, Maximum, MaxPoolAxis), which
+// are checked away from their kinks, and Dropout, which is checked under a
+// fixed mask. Keep that suite in sync when adding an op.
 
 #ifndef DYHSL_AUTOGRAD_OPS_H_
 #define DYHSL_AUTOGRAD_OPS_H_

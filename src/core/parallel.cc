@@ -9,19 +9,24 @@
 
 namespace dyhsl {
 
-void ConfigureParallelism(int max_threads) {
+int ConfigureParallelism(int max_threads) {
 #ifdef _OPENMP
-  if (std::getenv("OMP_NUM_THREADS") != nullptr) return;  // user decided
+  if (std::getenv("OMP_NUM_THREADS") != nullptr) {
+    return omp_get_max_threads();  // user decided
+  }
   if (const char* env = std::getenv("DYHSL_THREADS")) {
     int n = std::atoi(env);
     if (n > 0) {
       omp_set_num_threads(n);
-      return;
+      return n;
     }
   }
-  omp_set_num_threads(std::min(max_threads, omp_get_num_procs()));
+  int n = std::min(max_threads, omp_get_num_procs());
+  omp_set_num_threads(n);
+  return n;
 #else
   (void)max_threads;
+  return 1;
 #endif
 }
 

@@ -10,9 +10,9 @@
 namespace dyhsl {
 
 /// \brief Caps OpenMP threads at min(max_threads, hardware). Respects an
-/// explicit OMP_NUM_THREADS and the DYHSL_THREADS override. No-op without
-/// OpenMP.
-void ConfigureParallelism(int max_threads = 8);
+/// explicit OMP_NUM_THREADS and the DYHSL_THREADS override. Returns the
+/// thread count now in effect (always 1 without OpenMP).
+int ConfigureParallelism(int max_threads = 8);
 
 }  // namespace dyhsl
 

@@ -1,5 +1,6 @@
 #include "src/models/dyhsl.h"
 
+#include <string>
 #include <utility>
 
 #include "src/core/check.h"
@@ -33,8 +34,13 @@ DyHsl::DyHsl(const train::ForecastTask& task, const DyHslConfig& config)
       head_(2 * config.hidden_dim, task.horizon, &rng_) {
   DYHSL_CHECK(!config_.window_sizes.empty());
   for (int64_t eps : config_.window_sizes) {
+    // Validate positivity first: `history % eps` with eps == 0 is UB.
+    DYHSL_CHECK_MSG(eps > 0, "window sizes must be positive, got " +
+                                 std::to_string(eps));
     DYHSL_CHECK_MSG(task.history % eps == 0,
-                    "window size must divide the history length");
+                    "window size " + std::to_string(eps) +
+                        " must divide the history length " +
+                        std::to_string(task.history));
     int64_t pooled_steps = task.history / eps;
     if (scale_ops_.find(pooled_steps) == scale_ops_.end()) {
       scale_ops_[pooled_steps] = graph::BuildNormalizedTemporalOp(

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <limits>
 
+#include "src/core/check.h"
 #include "src/core/logging.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/ops.h"
@@ -21,6 +22,9 @@ double SecondsSince(Clock::time_point start) {
 TrainResult TrainModel(ForecastModel* model,
                        const data::TrafficDataset& dataset,
                        const TrainConfig& config) {
+  DYHSL_CHECK_GT(config.batch_size, 0);
+  DYHSL_CHECK_GE(config.epochs, 0);
+  DYHSL_CHECK_GE(config.max_batches_per_epoch, 0);
   optim::Adam optimizer(model->Parameters(), config.learning_rate, 0.9f,
                         0.999f, 1e-8f, config.weight_decay);
   data::BatchIterator train_iter(&dataset, dataset.train_range(),

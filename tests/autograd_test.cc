@@ -13,6 +13,7 @@
 #include "src/autograd/variable.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/sparse.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::autograd {
 namespace {
@@ -82,10 +83,8 @@ TEST(TapeTest, NoGradLeafReceivesNothing) {
   EXPECT_FLOAT_EQ(x.grad().data()[0], 10.0f);
 }
 
-class OpGradCheck : public ::testing::Test {
+class OpGradCheck : public ::dyhsl::testing::SeededTest {
  protected:
-  Rng rng_{42};
-
   void Check(const std::function<Variable(const std::vector<Variable>&)>& f,
              std::vector<Variable> inputs, float tol = 5e-2f) {
     GradCheckReport report = GradCheck(f, std::move(inputs), 1e-2f, tol);
@@ -346,6 +345,40 @@ TEST_F(OpGradCheck, MaeMseLosses) {
         {Param(pred)});
 }
 
+TEST_F(OpGradCheck, MaximumAwayFromTies) {
+  // Keep the operands separated so the subgradient choice is stable under
+  // the finite-difference perturbation.
+  T::Tensor a = T::Tensor::Randn({3, 4}, &rng_);
+  T::Tensor b = T::Tensor::Randn({3, 4}, &rng_);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) < 0.2f) b.data()[i] += 0.5f;
+  }
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Maximum(in[0], in[1]));
+        },
+        {Param(a), Param(b)});
+}
+
+TEST_F(OpGradCheck, ScalarOpsChain) {
+  // Covers AddScalar, MulScalar and Neg, which the composite chains above
+  // only exercised incidentally.
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Neg(MulScalar(AddScalar(in[0], 1.5f), -0.6f)));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, DropoutFixedMask) {
+  // A fresh, identically seeded Rng on every evaluation keeps the mask
+  // constant, making training-mode dropout a fixed linear map that finite
+  // differences can validate.
+  Check([](const std::vector<Variable>& in) {
+          Rng mask_rng(123);
+          return ToScalar(Dropout(in[0], 0.4f, /*training=*/true, &mask_rng));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_))});
+}
+
 TEST(DropoutTest, IdentityInEval) {
   Rng rng(3);
   Variable x(T::Tensor::Randn({4, 4}, &rng), true);
@@ -389,9 +422,7 @@ TEST(SpMMTest, ForwardMatchesDense) {
   T::Tensor dense = csr.ToDense();
   T::Tensor want = T::MatMul(dense, x);
   T::Tensor got = T::SpMM(csr, x);
-  for (int64_t i = 0; i < want.numel(); ++i) {
-    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5f);
-  }
+  EXPECT_TENSOR_NEAR(got, want, 1e-5f);
 }
 
 }  // namespace

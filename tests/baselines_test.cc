@@ -18,6 +18,7 @@
 #include "src/tensor/ops.h"
 #include "src/train/model_zoo.h"
 #include "src/train/trainer.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::train {
 namespace {
@@ -91,7 +92,7 @@ TEST_P(NeuralZooTest, DeterministicEvalForward) {
   tensor::Tensor x = SharedBatchX(2);
   T::Tensor y1 = model->Forward(x, false).value();
   T::Tensor y2 = model->Forward(x, false).value();
-  EXPECT_EQ(y1.ToVector(), y2.ToVector()) << model->name();
+  EXPECT_TRUE(dyhsl::testing::TensorEq(y1, y2)) << model->name();
 }
 
 TEST_P(NeuralZooTest, OneAdamStepReducesLoss) {

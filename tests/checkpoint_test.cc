@@ -11,6 +11,7 @@
 #include "src/nn/layers.h"
 #include "src/train/checkpoint.h"
 #include "src/train/trainer.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::train {
 namespace {
@@ -32,8 +33,7 @@ TEST(CheckpointTest, LinearRoundTrip) {
   auto b = target.NamedParameters();
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].second.value().ToVector(),
-              b[i].second.value().ToVector());
+    EXPECT_TENSOR_EQ(a[i].second.value(), b[i].second.value());
   }
   std::remove(path.c_str());
 }
@@ -110,7 +110,7 @@ TEST(CheckpointTest, TrainedDyHslRestoresExactPredictions) {
   it.Next(&batch);
   T::Tensor y1 = trained.Forward(batch.x, false).value();
   T::Tensor y2 = restored.Forward(batch.x, false).value();
-  EXPECT_EQ(y1.ToVector(), y2.ToVector());
+  EXPECT_TENSOR_EQ(y1, y2);
   std::remove(path.c_str());
 }
 

@@ -1,11 +1,13 @@
 // Unit tests for core utilities: Status/Result, Rng, run profiles.
 
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/parallel.h"
 #include "src/core/profile.h"
 #include "src/core/rng.h"
 #include "src/core/status.h"
@@ -102,6 +104,26 @@ TEST(RngTest, SplitProducesIndependentStream) {
   Rng a(5);
   Rng child = a.Split();
   EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+TEST(ParallelismTest, HonorsCapAndOverride) {
+  // Without OpenMP the configured count is always 1; with it the cap and
+  // the DYHSL_THREADS override must both be respected.
+  if (std::getenv("OMP_NUM_THREADS") != nullptr) {
+    GTEST_SKIP() << "OMP_NUM_THREADS set by the environment";
+  }
+  // Clear any ambient override so the cap branch is actually exercised.
+  ASSERT_EQ(unsetenv("DYHSL_THREADS"), 0);
+  int capped = ConfigureParallelism(/*max_threads=*/2);
+  EXPECT_GE(capped, 1);
+  EXPECT_LE(capped, 2);
+
+  ASSERT_EQ(setenv("DYHSL_THREADS", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(ConfigureParallelism(8), 1);
+  ASSERT_EQ(unsetenv("DYHSL_THREADS"), 0);
+  // Thread count is process-global OpenMP state; restore the default policy
+  // so later tests in this binary are not pinned to one thread.
+  ConfigureParallelism();
 }
 
 TEST(ProfileTest, ParseNames) {

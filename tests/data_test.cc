@@ -14,6 +14,7 @@
 #include "src/data/road_network_gen.h"
 #include "src/data/traffic_sim.h"
 #include "src/metrics/metrics.h"
+#include "tests/testing_utils.h"
 #include "src/tensor/ops.h"
 
 namespace dyhsl::data {
@@ -279,8 +280,7 @@ TEST(IoTest, CsvRoundTrip) {
   ASSERT_TRUE(SaveCsv(m, path).ok());
   auto loaded = LoadCsv(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(loaded.ValueOrDie().shape(), m.shape());
-  EXPECT_EQ(loaded.ValueOrDie().ToVector(), m.ToVector());
+  EXPECT_TENSOR_EQ(loaded.ValueOrDie(), m);
   std::remove(path.c_str());
 }
 

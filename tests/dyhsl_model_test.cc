@@ -14,6 +14,7 @@
 #include "src/models/dyhsl.h"
 #include "src/tensor/ops.h"
 #include "src/train/trainer.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::models {
 namespace {
@@ -86,7 +87,7 @@ TEST_F(DyHslModelTest, DeterministicForwardInEval) {
   tensor::Tensor x = MakeBatch(2);
   T::Tensor y1 = model.Forward(x, false).value();
   T::Tensor y2 = model.Forward(x, false).value();
-  EXPECT_EQ(y1.ToVector(), y2.ToVector());
+  EXPECT_TENSOR_EQ(y1, y2);
 }
 
 TEST_F(DyHslModelTest, IncidenceShapeMatchesEq6) {
@@ -169,6 +170,28 @@ TEST_F(DyHslModelTest, SingleScaleConfig) {
   EXPECT_EQ(model.Forward(x, false).size(1), task_.horizon);
 }
 
+using DyHslModelDeathTest = DyHslModelTest;
+
+TEST_F(DyHslModelDeathTest, RejectsNonDividingWindowSize) {
+  DyHslConfig cfg = config_;
+  cfg.window_sizes = {1, 5};  // history is 12; 5 does not divide it
+  EXPECT_DEATH(DyHsl(task_, cfg), "must divide the history length");
+}
+
+TEST_F(DyHslModelDeathTest, RejectsZeroWindowSize) {
+  // Regression: a zero window used to hit `history % 0` (UB) before any
+  // validation fired.
+  DyHslConfig cfg = config_;
+  cfg.window_sizes = {1, 0};
+  EXPECT_DEATH(DyHsl(task_, cfg), "window sizes must be positive");
+}
+
+TEST_F(DyHslModelDeathTest, RejectsNegativeWindowSize) {
+  DyHslConfig cfg = config_;
+  cfg.window_sizes = {-3};
+  EXPECT_DEATH(DyHsl(task_, cfg), "window sizes must be positive");
+}
+
 TEST(DhslBlockTest, OutputShapeAndFiniteness) {
   Rng rng(3);
   DhslBlock block(8, 4, &rng);
@@ -214,12 +237,9 @@ TEST(IgcBlockTest, InteractionIsSecondOrder) {
   T::Tensor y1 = block.Forward(adj, ag::Variable(x)).value();
   T::Tensor y2 = block.Forward(adj, ag::Variable(x2)).value();
   // If the block were linear, y2 == 2*y1 exactly.
-  float max_dev = 0.0f;
-  for (int64_t i = 0; i < y1.numel(); ++i) {
-    max_dev = std::max(max_dev,
-                       std::fabs(y2.data()[i] - 2.0f * y1.data()[i]));
-  }
-  EXPECT_GT(max_dev, 1e-4f);
+  T::Tensor doubled = y1.Clone();
+  T::ScaleInPlace(&doubled, 2.0f);
+  EXPECT_GT(dyhsl::testing::MaxAbsDiff(y2, doubled), 1e-4f);
 }
 
 TEST(PriorGraphEncoderTest, EncodesJointSpatioTemporal) {

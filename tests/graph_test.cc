@@ -11,6 +11,7 @@
 #include "src/graph/temporal_graph.h"
 #include "src/hypergraph/hypergraph.h"
 #include "src/tensor/ops.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::graph {
 namespace {
@@ -93,11 +94,7 @@ TEST(TemporalGraphTest, NormalizedRowsSumToOne) {
   Graph g = PathGraph(4);
   auto op = BuildNormalizedTemporalOp(g.ToAdjacency(), 3);
   T::Tensor dense = op->forward.ToDense();
-  for (int64_t r = 0; r < dense.size(0); ++r) {
-    float sum = 0.0f;
-    for (int64_t c = 0; c < dense.size(1); ++c) sum += dense.At({r, c});
-    EXPECT_NEAR(sum, 1.0f, 1e-5f);
-  }
+  EXPECT_TRUE(dyhsl::testing::RowStochastic(dense, 1e-5f));
 }
 
 TEST(TemporalGraphTest, NodeIndexConvention) {
@@ -139,11 +136,7 @@ TEST(HypergraphTest, FromCommunitiesIncidence) {
 TEST(HypergraphTest, NormalizedOperatorRowsSumToOne) {
   Hypergraph h = Hypergraph::FromCommunities({0, 0, 1, 1, 1, 2});
   T::Tensor g = h.NormalizedOperator()->forward.ToDense();
-  for (int64_t r = 0; r < 6; ++r) {
-    float sum = 0.0f;
-    for (int64_t c = 0; c < 6; ++c) sum += g.At({r, c});
-    EXPECT_NEAR(sum, 1.0f, 1e-5f);
-  }
+  EXPECT_TRUE(dyhsl::testing::RowStochastic(g, 1e-5f));
 }
 
 TEST(HypergraphTest, OperatorMixesOnlyWithinHyperedge) {

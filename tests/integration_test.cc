@@ -13,6 +13,7 @@
 #include "src/models/dyhsl.h"
 #include "src/train/model_zoo.h"
 #include "src/train/trainer.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl {
 namespace {
@@ -93,10 +94,7 @@ TEST(IntegrationTest, HypergraphIncidenceIsInputDependent) {
   it.Next(&b2);
   T::Tensor inc1 = model.IncidenceFor(b1.x);
   T::Tensor inc2 = model.IncidenceFor(b2.x);
-  float diff = 0.0f;
-  for (int64_t i = 0; i < inc1.numel(); ++i) {
-    diff += std::fabs(inc1.data()[i] - inc2.data()[i]);
-  }
+  float diff = dyhsl::testing::SumAbsDiff(inc1, inc2);
   EXPECT_GT(diff / inc1.numel(), 1e-6f);
 }
 
@@ -165,11 +163,7 @@ TEST(IntegrationTest, ZooModelsProduceDistinctPredictions) {
   it.Next(&batch);
   T::Tensor y1 = m1->Forward(batch.x, false).value();
   T::Tensor y2 = m2->Forward(batch.x, false).value();
-  float diff = 0.0f;
-  for (int64_t i = 0; i < y1.numel(); ++i) {
-    diff += std::fabs(y1.data()[i] - y2.data()[i]);
-  }
-  EXPECT_GT(diff, 1e-3f);
+  EXPECT_GT(dyhsl::testing::SumAbsDiff(y1, y2), 1e-3f);
 }
 
 }  // namespace

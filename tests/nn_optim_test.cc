@@ -13,6 +13,7 @@
 #include "src/nn/layers.h"
 #include "src/nn/module.h"
 #include "src/optim/optimizer.h"
+#include "tests/testing_utils.h"
 #include "src/tensor/ops.h"
 
 namespace dyhsl::nn {
@@ -226,9 +227,7 @@ TEST(AdamTest, ConvergesOnLeastSquares) {
     ag::MseLoss(pred, ag::Variable(y)).Backward();
     adam.Step();
   }
-  for (int64_t i = 0; i < 3; ++i) {
-    EXPECT_NEAR(w.value().data()[i], w_true.data()[i], 5e-2f);
-  }
+  EXPECT_TENSOR_NEAR(w.value(), w_true, 5e-2f);
 }
 
 TEST(AdamTest, WeightDecayShrinksUnusedWeight) {

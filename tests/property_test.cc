@@ -16,6 +16,7 @@
 #include "src/metrics/metrics.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/sparse.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl {
 namespace {
@@ -95,11 +96,8 @@ TEST_P(MatMulProperty, TransposeFlagsConsistent) {
   for (auto [ta, tb] : std::vector<std::pair<bool, bool>>{
            {true, false}, {false, true}, {true, true}}) {
     T::Tensor got = T::MatMul(ta ? at : a, tb ? bt : b, ta, tb);
-    ASSERT_EQ(got.shape(), ref.shape());
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-3f)
-          << "ta=" << ta << " tb=" << tb;
-    }
+    EXPECT_TRUE(dyhsl::testing::TensorNear(got, ref, 1e-3f))
+        << "ta=" << ta << " tb=" << tb;
   }
 }
 
@@ -162,9 +160,7 @@ TEST_P(SparseProperty, AgreesWithDense) {
   T::Tensor x = T::Tensor::Randn({cols, 5}, &rng);
   T::Tensor via_sparse = T::SpMM(m, x);
   T::Tensor via_dense = T::MatMul(m.ToDense(), x);
-  for (int64_t i = 0; i < via_dense.numel(); ++i) {
-    EXPECT_NEAR(via_sparse.data()[i], via_dense.data()[i], 1e-4f);
-  }
+  EXPECT_TENSOR_NEAR(via_sparse, via_dense, 1e-4f);
   // Transpose involution.
   T::Tensor tt = m.Transposed().Transposed().ToDense();
   T::Tensor orig = m.ToDense();
@@ -184,15 +180,8 @@ TEST_P(SparseProperty, RowNormalizedIsStochastic) {
   }
   auto m = T::CsrMatrix::FromTriplets(n, n, trips).RowNormalized();
   T::Tensor dense = m.ToDense();
-  for (int64_t r = 0; r < n; ++r) {
-    float sum = 0.0f;
-    bool has_entries = false;
-    for (int64_t c = 0; c < n; ++c) {
-      sum += dense.At({r, c});
-      has_entries |= dense.At({r, c}) != 0.0f;
-    }
-    if (has_entries) EXPECT_NEAR(sum, 1.0f, 1e-4f);
-  }
+  EXPECT_TRUE(
+      dyhsl::testing::RowStochastic(dense, 1e-4f, /*allow_zero_rows=*/true));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseProperty,

@@ -9,6 +9,7 @@
 
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
+#include "tests/testing_utils.h"
 
 namespace dyhsl::tensor {
 namespace {
@@ -119,11 +120,9 @@ TEST(OpsTest, MatMulTransposeFlagsAgree) {
   Tensor c1 = MatMul(at, b, /*trans_a=*/true, /*trans_b=*/false);
   Tensor c2 = MatMul(a, bt, /*trans_a=*/false, /*trans_b=*/true);
   Tensor c3 = MatMul(at, bt, /*trans_a=*/true, /*trans_b=*/true);
-  for (int64_t i = 0; i < ref.numel(); ++i) {
-    EXPECT_NEAR(c1.data()[i], ref.data()[i], 1e-4f);
-    EXPECT_NEAR(c2.data()[i], ref.data()[i], 1e-4f);
-    EXPECT_NEAR(c3.data()[i], ref.data()[i], 1e-4f);
-  }
+  EXPECT_TENSOR_NEAR(c1, ref, 1e-4f);
+  EXPECT_TENSOR_NEAR(c2, ref, 1e-4f);
+  EXPECT_TENSOR_NEAR(c3, ref, 1e-4f);
 }
 
 TEST(OpsTest, BatchedMatMulMatchesPerBatch) {
@@ -137,9 +136,7 @@ TEST(OpsTest, BatchedMatMulMatchesPerBatch) {
     Tensor bb = Slice(b, 0, bi, 1).Reshape({5, 2});
     Tensor ref = MatMul(ab, bb);
     Tensor got = Slice(c, 0, bi, 1).Reshape({4, 2});
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-4f);
-    }
+    EXPECT_TENSOR_NEAR(got, ref, 1e-4f);
   }
 }
 
@@ -149,10 +146,8 @@ TEST(OpsTest, BatchedMatMulSharedRhs) {
   Tensor w = Tensor::Randn({4, 5}, &rng);
   Tensor c = BatchedMatMul(a, w);
   EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
-  Tensor folded = MatMul(a.Reshape({6, 4}), w);
-  for (int64_t i = 0; i < c.numel(); ++i) {
-    EXPECT_NEAR(c.data()[i], folded.data()[i], 1e-4f);
-  }
+  Tensor folded = MatMul(a.Reshape({6, 4}), w).Reshape({2, 3, 5});
+  EXPECT_TENSOR_NEAR(c, folded, 1e-4f);
 }
 
 TEST(OpsTest, BatchedMatMulTransB) {
@@ -166,9 +161,7 @@ TEST(OpsTest, BatchedMatMulTransB) {
     Tensor bb = Slice(b, 0, bi, 1).Reshape({6, 4});
     Tensor ref = MatMul(ab, Transpose2D(bb));
     Tensor got = Slice(c, 0, bi, 1).Reshape({3, 6});
-    for (int64_t i = 0; i < ref.numel(); ++i) {
-      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-4f);
-    }
+    EXPECT_TENSOR_NEAR(got, ref, 1e-4f);
   }
 }
 
@@ -220,11 +213,7 @@ TEST(OpsTest, SoftmaxRowsSumToOne) {
   Rng rng(5);
   Tensor a = Tensor::Randn({4, 7}, &rng, 3.0f);
   Tensor s = SoftmaxLastAxis(a);
-  for (int64_t r = 0; r < 4; ++r) {
-    float sum = 0.0f;
-    for (int64_t c = 0; c < 7; ++c) sum += s.At({r, c});
-    EXPECT_NEAR(sum, 1.0f, 1e-5f);
-  }
+  EXPECT_TRUE(dyhsl::testing::RowStochastic(s, 1e-5f));
 }
 
 TEST(OpsTest, SoftmaxStableForLargeInputs) {

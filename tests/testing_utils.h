@@ -1,0 +1,162 @@
+// Shared helpers for the GoogleTest suites: tensor comparison with
+// first-mismatch diagnostics and seeded-RNG fixtures.
+//
+// Keep this header test-only; production code must not include it.
+
+#ifndef DYHSL_TESTS_TESTING_UTILS_H_
+#define DYHSL_TESTS_TESTING_UTILS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::testing {
+
+inline std::string ShapeToString(const tensor::Shape& shape) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+/// \brief Succeeds iff `actual` and `expected` have the same shape and agree
+/// elementwise within `atol`. On failure reports the first mismatching flat
+/// index plus both values, which the ad-hoc per-element loops this replaces
+/// never did.
+inline ::testing::AssertionResult TensorNear(const tensor::Tensor& actual,
+                                             const tensor::Tensor& expected,
+                                             float atol = 1e-4f) {
+  if (actual.shape() != expected.shape()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: actual " << ShapeToString(actual.shape())
+           << " vs expected " << ShapeToString(expected.shape());
+  }
+  const float* pa = actual.data();
+  const float* pe = expected.data();
+  for (int64_t i = 0; i < actual.numel(); ++i) {
+    float diff = std::fabs(pa[i] - pe[i]);
+    if (!(diff <= atol)) {  // negated so NaN also fails
+      return ::testing::AssertionFailure()
+             << "tensors differ at flat index " << i << ": actual " << pa[i]
+             << " vs expected " << pe[i] << " (|diff| " << diff << " > atol "
+             << atol << "); shape " << ShapeToString(actual.shape());
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// \brief Succeeds iff both tensors have the same shape and are bitwise
+/// identical — for determinism and checkpoint round-trip tests where "close"
+/// is not good enough.
+inline ::testing::AssertionResult TensorEq(const tensor::Tensor& actual,
+                                           const tensor::Tensor& expected) {
+  if (actual.shape() != expected.shape()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: actual " << ShapeToString(actual.shape())
+           << " vs expected " << ShapeToString(expected.shape());
+  }
+  const float* pa = actual.data();
+  const float* pe = expected.data();
+  for (int64_t i = 0; i < actual.numel(); ++i) {
+    // Bit comparison, not ==: identical NaNs must pass, +0.0/-0.0 must not.
+    if (std::memcmp(&pa[i], &pe[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "tensors differ at flat index " << i << ": actual " << pa[i]
+             << " vs expected " << pe[i] << "; shape "
+             << ShapeToString(actual.shape());
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// \brief Succeeds iff every row of a 2-D tensor sums to 1 within `atol`.
+/// Rows that are entirely zero pass when `allow_zero_rows` is set (a
+/// row-normalized sparse matrix keeps empty rows empty).
+inline ::testing::AssertionResult RowStochastic(const tensor::Tensor& m,
+                                                float atol = 1e-5f,
+                                                bool allow_zero_rows = false) {
+  if (m.dim() != 2) {
+    return ::testing::AssertionFailure()
+           << "expected a 2-D tensor, got shape " << ShapeToString(m.shape());
+  }
+  for (int64_t r = 0; r < m.size(0); ++r) {
+    float sum = 0.0f;
+    bool has_entries = false;
+    for (int64_t c = 0; c < m.size(1); ++c) {
+      float v = m.At({r, c});
+      sum += v;
+      has_entries |= v != 0.0f;
+    }
+    if (!has_entries && allow_zero_rows) continue;
+    if (std::fabs(sum - 1.0f) > atol) {
+      return ::testing::AssertionFailure()
+             << "row " << r << " sums to " << sum << " (atol " << atol << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// \brief Largest elementwise |a - b|. Shapes must match; useful for "the
+/// outputs must differ" assertions where a boolean comparison hides by how
+/// much.
+inline float MaxAbsDiff(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) {
+    ADD_FAILURE() << "MaxAbsDiff shape mismatch: " << ShapeToString(a.shape())
+                  << " vs " << ShapeToString(b.shape());
+    return 0.0f;
+  }
+  float max_dev = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_dev = std::max(max_dev, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_dev;
+}
+
+/// \brief Sum of elementwise |a - b| (L1 distance between tensors).
+inline float SumAbsDiff(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) {
+    ADD_FAILURE() << "SumAbsDiff shape mismatch: " << ShapeToString(a.shape())
+                  << " vs " << ShapeToString(b.shape());
+    return 0.0f;
+  }
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    total += std::fabs(a.data()[i] - b.data()[i]);
+  }
+  return total;
+}
+
+/// \brief EXPECT_-style wrapper around TensorNear.
+#define EXPECT_TENSOR_NEAR(actual, expected, atol) \
+  EXPECT_TRUE(::dyhsl::testing::TensorNear((actual), (expected), (atol)))
+
+/// \brief ASSERT_-style wrapper around TensorNear.
+#define ASSERT_TENSOR_NEAR(actual, expected, atol) \
+  ASSERT_TRUE(::dyhsl::testing::TensorNear((actual), (expected), (atol)))
+
+/// \brief EXPECT_-style wrapper around TensorEq.
+#define EXPECT_TENSOR_EQ(actual, expected) \
+  EXPECT_TRUE(::dyhsl::testing::TensorEq((actual), (expected)))
+
+/// \brief Fixture owning a deterministically seeded Rng.
+class SeededTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kDefaultSeed = 42;
+
+  Rng rng_{kDefaultSeed};
+};
+
+}  // namespace dyhsl::testing
+
+#endif  // DYHSL_TESTS_TESTING_UTILS_H_

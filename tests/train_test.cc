@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -95,6 +96,46 @@ TEST(TrainerTest, DeterministicGivenSeeds) {
     return result.final_train_loss;
   };
   EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TrainerTest, BitIdenticalLossesAcrossSeededRuns) {
+  // Two runs from the same DyHslConfig::seed (and trainer seed) must agree
+  // bit-for-bit on every step loss, not merely to within tolerance: any
+  // hidden source of nondeterminism (uninitialized memory, iteration-order
+  // dependence, time-seeded RNG) would break equality exactly here.
+  auto run = [] {
+    ForecastTask task = ForecastTask::FromDataset(SmallDataset());
+    models::DyHslConfig cfg;
+    cfg.hidden_dim = 8;
+    cfg.prior_layers = 1;
+    cfg.mhce_layers = 1;
+    cfg.num_hyperedges = 4;
+    cfg.window_sizes = {1, 12};
+    cfg.dropout = 0.1f;
+    cfg.seed = 77;
+    models::DyHsl model(task, cfg);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 8;
+    tc.max_batches_per_epoch = 1;  // one optimizer step per epoch
+    return TrainModel(&model, SmallDataset(), tc).epoch_losses;
+  };
+  std::vector<double> first = run();
+  std::vector<double> second = run();
+  ASSERT_EQ(first.size(), 3u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "step " << i << " diverged";
+  }
+}
+
+TEST(TrainerDeathTest, RejectsNonPositiveBatchSize) {
+  ForecastTask task = ForecastTask::FromDataset(SmallDataset());
+  ZooConfig zoo;
+  zoo.hidden_dim = 8;
+  auto model = MakeNeuralModel("GRU-ED", task, zoo);
+  TrainConfig tc;
+  tc.batch_size = 0;
+  EXPECT_DEATH(TrainModel(model.get(), SmallDataset(), tc), "batch_size");
 }
 
 TEST(TrainerTest, MaxBatchesCapsWork) {
