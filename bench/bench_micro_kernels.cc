@@ -59,6 +59,50 @@ void BM_TemporalGraphSpMM(benchmark::State& state) {
 }
 BENCHMARK(BM_TemporalGraphSpMM)->Arg(64)->Arg(256);
 
+// Acceptance shapes for the blocked-GEMM work: DHSL incidence products at
+// paper scale (B=32 windows, N=207 PEMSD7M-sized nodes, d=64 hidden,
+// I=32 hyperedges). Λ = H W is the batched matmul the kernel PR targets.
+void BM_BatchedMatMulDyhsl(benchmark::State& state) {
+  constexpr int64_t kBatch = 32, kNodes = 207, kDim = 64, kEdges = 32;
+  Rng rng(8);
+  T::Tensor h = T::Tensor::Randn({kBatch, kNodes, kDim}, &rng);
+  T::Tensor w = T::Tensor::Randn({kDim, kEdges}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::BatchedMatMul(h, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch * kNodes * kDim *
+                          kEdges);
+}
+BENCHMARK(BM_BatchedMatMulDyhsl);
+
+// Same shapes, the Eq. 7 aggregation E = ΛᵀH (trans_a path) and the Eq. 8
+// update F = Λ E — the strided-inner-loop paths of the pre-blocked kernel.
+void BM_BatchedMatMulDyhslTransA(benchmark::State& state) {
+  constexpr int64_t kBatch = 32, kNodes = 207, kDim = 64, kEdges = 32;
+  Rng rng(9);
+  T::Tensor inc = T::Tensor::Randn({kBatch, kNodes, kEdges}, &rng);
+  T::Tensor h = T::Tensor::Randn({kBatch, kNodes, kDim}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::BatchedMatMul(inc, h, /*trans_a=*/true,
+                                              /*trans_b=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch * kNodes * kDim *
+                          kEdges);
+}
+BENCHMARK(BM_BatchedMatMulDyhslTransA);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(10);
+  T::Tensor a = T::Tensor::Randn({n, n}, &rng);
+  T::Tensor b = T::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::MatMul(a, b, false, /*trans_b=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(128)->Arg(256);
+
 // The DHSL block's algebra: Λ = H W; E = ΛᵀH; F = Λ E.
 void BM_HypergraphProducts(benchmark::State& state) {
   int64_t rows = state.range(0);

@@ -5,6 +5,7 @@
 
 #include "src/core/check.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 
 namespace dyhsl::autograd {
 
@@ -27,6 +28,48 @@ void Accumulate(Node* node, size_t i, const T::Tensor& g) {
 
 bool ParentNeedsGrad(Node* node, size_t i) {
   return node->parents[i]->requires_grad;
+}
+
+// Fused gradient GEMMs: the product is written straight into the parent's
+// grad buffer — the first touch allocates it and overwrites (beta 0),
+// later touches GEMM-accumulate (beta 1) — so matmul backward passes run
+// without gradient temporaries.
+float GradAccumBeta(Node* parent) {
+  if (!parent->grad.defined()) {
+    if (parent->parents.empty()) {
+      // Leaf (parameter) gradients outlive the step: heap, not arena
+      // (see Node::AccumulateGrad for the same rule).
+      T::WorkspaceBypass bypass;
+      parent->grad = T::Tensor(parent->value.shape());
+    } else {
+      parent->grad = T::Tensor(parent->value.shape());
+    }
+    return 0.0f;
+  }
+  return 1.0f;
+}
+
+void AccumulateMatMul(Node* node, size_t i, const T::Tensor& x,
+                      const T::Tensor& y, bool tx, bool ty) {
+  Node* parent = node->parents[i].get();
+  if (!parent->requires_grad) return;
+  T::MatMulInto(x, y, tx, ty, GradAccumBeta(parent), &parent->grad);
+}
+
+void AccumulateBatchedMatMul(Node* node, size_t i, const T::Tensor& x,
+                             const T::Tensor& y, bool tx, bool ty) {
+  Node* parent = node->parents[i].get();
+  if (!parent->requires_grad) return;
+  T::BatchedMatMulInto(x, y, tx, ty, GradAccumBeta(parent), &parent->grad);
+}
+
+// Batch-reduced variant for operands shared across the batch.
+void AccumulateBatchedReduce(Node* node, size_t i, const T::Tensor& x,
+                             const T::Tensor& y, bool tx, bool ty) {
+  Node* parent = node->parents[i].get();
+  if (!parent->requires_grad) return;
+  T::BatchedMatMulReduceInto(x, y, tx, ty, GradAccumBeta(parent),
+                             &parent->grad);
 }
 
 }  // namespace
@@ -149,6 +192,16 @@ Variable Abs(const Variable& a) {
   });
 }
 
+Variable InvSqrt(const Variable& a, float eps) {
+  T::Tensor y = T::Rsqrt(a.value(), eps);
+  return MakeOpResult(y, {a}, [y](Node* n) {
+    if (!ParentNeedsGrad(n, 0)) return;
+    // d/dx (x + eps)^(-1/2) = -1/2 y^3
+    T::Tensor y3 = T::Mul(T::Mul(y, y), y);
+    Accumulate(n, 0, T::Mul(n->grad, T::MulScalar(y3, -0.5f)));
+  });
+}
+
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
                 bool trans_b) {
   T::Tensor av = a.value(), bv = b.value();
@@ -156,15 +209,17 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
       T::MatMul(av, bv, trans_a, trans_b), {a, b},
       [av, bv, trans_a, trans_b](Node* n) {
         const T::Tensor& g = n->grad;
-        if (ParentNeedsGrad(n, 0)) {
-          T::Tensor ga = trans_a ? T::MatMul(bv, g, trans_b, true)
-                                 : T::MatMul(g, bv, false, !trans_b);
-          Accumulate(n, 0, ga);
+        // ga = op(A) adjoint: the gradient GEMM accumulates straight into
+        // the parent's grad buffer (no temporary).
+        if (trans_a) {
+          AccumulateMatMul(n, 0, bv, g, trans_b, true);
+        } else {
+          AccumulateMatMul(n, 0, g, bv, false, !trans_b);
         }
-        if (ParentNeedsGrad(n, 1)) {
-          T::Tensor gb = trans_b ? T::MatMul(g, av, true, trans_a)
-                                 : T::MatMul(av, g, !trans_a, false);
-          Accumulate(n, 1, gb);
+        if (trans_b) {
+          AccumulateMatMul(n, 1, g, av, true, trans_a);
+        } else {
+          AccumulateMatMul(n, 1, av, g, !trans_a, false);
         }
       });
 }
@@ -172,42 +227,48 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
 Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
                        bool trans_b) {
   T::Tensor av = a.value(), bv = b.value();
-  bool shared_b = bv.dim() == 2;
-  if (shared_b) {
-    DYHSL_CHECK_MSG(!trans_a,
-                    "BatchedMatMul with shared 2-D b requires trans_a=false");
-  }
+  const bool shared_a = av.dim() == 2;
+  const bool shared_b = bv.dim() == 2;
   return MakeOpResult(
       T::BatchedMatMul(av, bv, trans_a, trans_b), {a, b},
-      [av, bv, trans_a, trans_b, shared_b](Node* n) {
-        const T::Tensor& g = n->grad;
-        if (ParentNeedsGrad(n, 0)) {
-          T::Tensor ga;
-          if (shared_b) {
-            // ga = g op(B)^T, shared across batch.
-            ga = T::BatchedMatMul(g, bv, false, !trans_b);
+      [av, bv, trans_a, trans_b, shared_a, shared_b](Node* n) {
+        const T::Tensor& g = n->grad;  // (B, m, n)
+        // ga: same adjoint formulas as MatMul; a batch-shared 2-D operand
+        // additionally reduces over the batch.
+        if (shared_a) {
+          if (trans_a) {
+            AccumulateBatchedReduce(n, 0, bv, g, trans_b, true);
           } else {
-            ga = trans_a ? T::BatchedMatMul(bv, g, trans_b, true)
-                         : T::BatchedMatMul(g, bv, false, !trans_b);
+            AccumulateBatchedReduce(n, 0, g, bv, false, !trans_b);
           }
-          Accumulate(n, 0, ga);
+        } else if (trans_a) {
+          // With shared b this is the shared-LHS form (bv 2-D, g 3-D).
+          AccumulateBatchedMatMul(n, 0, bv, g, trans_b, true);
+        } else {
+          AccumulateBatchedMatMul(n, 0, g, bv, false, !trans_b);
         }
-        if (ParentNeedsGrad(n, 1)) {
-          if (shared_b) {
-            // Fold the batch into rows: gb = sum_b op(A_b)^T G_b.
-            int64_t batch = av.size(0);
-            int64_t m = av.size(1), k = av.size(2);
-            int64_t ncols = g.size(2);
-            T::Tensor a2 = av.Reshape({batch * m, k});
-            T::Tensor g2 = g.Reshape({batch * m, ncols});
-            T::Tensor gb = trans_b ? T::MatMul(g2, a2, true, false)
-                                   : T::MatMul(a2, g2, true, false);
-            Accumulate(n, 1, gb);
+        if (shared_b && !trans_a) {
+          // Fold the batch into rows: op(A_b) = A_b stacks contiguously,
+          // so gb = sum_b op(A_b)^T G_b is one GEMM over (B*m) rows.
+          int64_t batch = av.size(0);
+          int64_t m = av.size(1), k = av.size(2);
+          T::Tensor a2 = av.Reshape({batch * m, k});
+          T::Tensor g2 = g.Reshape({batch * m, g.size(2)});
+          if (trans_b) {
+            AccumulateMatMul(n, 1, g2, a2, true, false);
           } else {
-            T::Tensor gb = trans_b ? T::BatchedMatMul(g, av, true, trans_a)
-                                   : T::BatchedMatMul(av, g, !trans_a, false);
-            Accumulate(n, 1, gb);
+            AccumulateMatMul(n, 1, a2, g2, true, false);
           }
+        } else if (shared_b) {  // trans_a == true: batch-reduce instead
+          if (trans_b) {
+            AccumulateBatchedReduce(n, 1, g, av, true, trans_a);
+          } else {
+            AccumulateBatchedReduce(n, 1, av, g, !trans_a, false);
+          }
+        } else if (trans_b) {
+          AccumulateBatchedMatMul(n, 1, g, av, true, trans_a);
+        } else {
+          AccumulateBatchedMatMul(n, 1, av, g, !trans_a, false);
         }
       });
 }

@@ -44,6 +44,9 @@ Variable Exp(const Variable& a);
 Variable Log(const Variable& a);
 Variable Sqrt(const Variable& a);
 Variable Abs(const Variable& a);
+/// Fused y = 1 / sqrt(a + eps) — one node instead of the
+/// AddScalar/Sqrt/Div chain of a normalization denominator.
+Variable InvSqrt(const Variable& a, float eps = 0.0f);
 /// @}
 
 /// \name Linear algebra
@@ -53,8 +56,11 @@ Variable Abs(const Variable& a);
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a = false,
                 bool trans_b = false);
 
-/// \brief Batched matmul; `b` may be 2-D (shared across the batch; requires
-/// trans_a == false in that case).
+/// \brief Batched matmul. Either operand may be 2-D, in which case it is
+/// shared across the batch (the flag-driven shared-LHS form `U @ M_b`
+/// replaces the old TransposePerm/BatchedMatMul/TransposePerm sandwich);
+/// its gradient is reduced over the batch. All four trans combinations are
+/// supported for every sharing pattern.
 Variable BatchedMatMul(const Variable& a, const Variable& b,
                        bool trans_a = false, bool trans_b = false);
 

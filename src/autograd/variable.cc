@@ -4,6 +4,7 @@
 
 #include "src/core/check.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 
 namespace dyhsl::autograd {
 
@@ -13,7 +14,14 @@ void Node::AccumulateGrad(const tensor::Tensor& g) {
                       " != value shape " +
                       tensor::ShapeToString(value.shape()));
   if (!grad.defined()) {
-    grad = g.Clone();
+    if (parents.empty()) {
+      // Leaf (parameter) gradients survive past the training step — keep
+      // them on the heap so they never pin a step-scoped workspace slab.
+      tensor::WorkspaceBypass bypass;
+      grad = g.Clone();
+    } else {
+      grad = g.Clone();
+    }
   } else {
     tensor::AddInPlace(&grad, g);
   }

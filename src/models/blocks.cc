@@ -92,18 +92,6 @@ void DhslBlock::RegisterSequenceLength(int64_t rows, Rng* rng) {
                                                    static_cast<float>(rows)))));
 }
 
-namespace {
-
-// Computes U @ M for shared U (I x I) and batched M (B, I, d) through the
-// transpose trick: (M^T U^T)^T per batch.
-Variable SharedLhsMatMul(const Variable& u, const Variable& m) {
-  Variable mt = ag::TransposePerm(m, {0, 2, 1});            // (B, d, I)
-  Variable prod = ag::BatchedMatMul(mt, u, false, true);    // (B, d, I)
-  return ag::TransposePerm(prod, {0, 2, 1});                // (B, I, d)
-}
-
-}  // namespace
-
 Variable DhslBlock::Incidence(const Variable& h) const {
   // Eq. 6: Λ = H W, low-rank through the d-dimensional bottleneck.
   return ag::BatchedMatMul(h, incidence_weight_);  // (B, R, I)
@@ -115,8 +103,9 @@ Variable DhslBlock::Forward(const Variable& h) const {
   if (mode_ == StructureLearning::kFromScratch) {
     for (const auto& [r, adj] : scratch_adj_) {
       if (r == rows) {
-        // F = A_learn H, with A shared across the batch.
-        return SharedLhsMatMul(adj, h);
+        // F = A_learn H, with A shared across the batch (shared-LHS
+        // batched matmul; no transpose round-trips).
+        return ag::BatchedMatMul(adj, h);
       }
     }
     DYHSL_CHECK_MSG(false, "kFromScratch: sequence length not registered");
@@ -128,7 +117,7 @@ Variable DhslBlock::Forward(const Variable& h) const {
   // Eq. 7: E = φ(U ΛᵀH) + ΛᵀH.
   Variable edge_feat = ag::MulScalar(
       ag::BatchedMatMul(incidence, h, /*trans_a=*/true, false), row_scale);
-  Variable mixed = SharedLhsMatMul(edge_mixer_, edge_feat);
+  Variable mixed = ag::BatchedMatMul(edge_mixer_, edge_feat);
   Variable edges = ag::Add(ag::Relu(mixed), edge_feat);  // (B, I, d)
   // Eq. 8: F = Λ E.
   return ag::MulScalar(ag::BatchedMatMul(incidence, edges), edge_scale);

@@ -48,9 +48,8 @@ Variable LayerNorm::Forward(const Variable& x) const {
   Variable mu = ag::Mean(x, -1, /*keepdims=*/true);
   Variable centered = ag::Sub(x, mu);
   Variable var = ag::Mean(ag::Mul(centered, centered), -1, /*keepdims=*/true);
-  Variable inv_std = ag::Div(
-      Variable(tensor::Tensor::Scalar(1.0f)),
-      ag::Sqrt(ag::AddScalar(var, eps_)));
+  // Fused 1/sqrt(var + eps): one tape node instead of AddScalar/Sqrt/Div.
+  Variable inv_std = ag::InvSqrt(var, eps_);
   Variable normed = ag::Mul(centered, inv_std);
   return ag::Add(ag::Mul(normed, gamma_), beta_);
 }

@@ -1,0 +1,288 @@
+#include "src/tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/check.h"
+
+namespace dyhsl::tensor {
+namespace {
+
+// Register tile: kMr rows x kNr columns accumulated per micro-kernel call.
+// 6 x 16 keeps the accumulator tile (96 floats) plus one packed B row in
+// registers on AVX2 (12 ymm accumulators) and degrades gracefully to
+// scalar code; kMc is a multiple of kMr so packed row-groups align with
+// row-block boundaries.
+constexpr int64_t kMr = 6;
+constexpr int64_t kNr = 16;
+constexpr int64_t kMc = 120;  // rows per L2-resident packed A block
+constexpr int64_t kKc = 240;  // K panel: B panel of kKc x kNr stays in L1
+
+// Multiply-add count below which the OpenMP fork/join overhead dominates.
+constexpr int64_t kParallelCutoff = 1 << 15;
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Thread-local packing buffers, reused across calls so steady-state GEMMs
+// perform no allocation at all.
+struct Scratch {
+  std::vector<float> a_pack;
+  std::vector<float> b_pack;
+};
+
+Scratch* TlsScratch() {
+  static thread_local Scratch scratch;
+  return &scratch;
+}
+
+// Packs op(A) rows [i0, i0+mb) x panel columns [p0, p0+kb) into kMr-row
+// groups: out[g * kb * kMr + p * kMr + r] = op(A)[i0 + g*kMr + r][p0 + p].
+// Rows past mb are zero-padded so the micro-kernel never branches on the
+// row tail (padded lanes are simply not written back).
+void PackA(const float* a, int64_t lda, bool trans, int64_t i0, int64_t mb,
+           int64_t p0, int64_t kb, float* out) {
+  int64_t groups = CeilDiv(mb, kMr);
+  for (int64_t g = 0; g < groups; ++g) {
+    float* dst = out + g * kb * kMr;
+    int64_t rows = std::min<int64_t>(kMr, mb - g * kMr);
+    if (!trans) {
+      // op(A)[i][p] = a[i * lda + p]: unit-stride reads along p.
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* src = a + (i0 + g * kMr + r) * lda + p0;
+        for (int64_t p = 0; p < kb; ++p) dst[p * kMr + r] = src[p];
+      }
+    } else {
+      // op(A)[i][p] = a[p * lda + i]: unit-stride reads along r.
+      for (int64_t p = 0; p < kb; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + g * kMr;
+        for (int64_t r = 0; r < rows; ++r) dst[p * kMr + r] = src[r];
+      }
+    }
+    if (rows < kMr) {
+      for (int64_t p = 0; p < kb; ++p) {
+        for (int64_t r = rows; r < kMr; ++r) dst[p * kMr + r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs op(B) panel rows [p0, p0+kb) x all n columns into kNr-column
+// panels: out[jp * kb * kNr + p * kNr + c] = op(B)[p0 + p][jp*kNr + c],
+// zero-padding the column tail.
+void PackB(const float* b, int64_t ldb, bool trans, int64_t p0, int64_t kb,
+           int64_t n, float* out) {
+  int64_t panels = CeilDiv(n, kNr);
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    float* dst = out + jp * kb * kNr;
+    int64_t j0 = jp * kNr;
+    int64_t cols = std::min<int64_t>(kNr, n - j0);
+    if (!trans) {
+      // op(B)[p][j] = b[p * ldb + j]: unit-stride reads along c.
+      for (int64_t p = 0; p < kb; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0;
+        for (int64_t c = 0; c < cols; ++c) dst[p * kNr + c] = src[c];
+        for (int64_t c = cols; c < kNr; ++c) dst[p * kNr + c] = 0.0f;
+      }
+    } else {
+      // op(B)[p][j] = b[j * ldb + p]: unit-stride reads along p.
+      for (int64_t c = 0; c < cols; ++c) {
+        const float* src = b + (j0 + c) * ldb + p0;
+        for (int64_t p = 0; p < kb; ++p) dst[p * kNr + c] = src[p];
+      }
+      for (int64_t c = cols; c < kNr; ++c) {
+        for (int64_t p = 0; p < kb; ++p) dst[p * kNr + c] = 0.0f;
+      }
+    }
+  }
+}
+
+// acc (kMr x kNr) = Apack panel * Bpack panel over kb steps. Both panels
+// are contiguous, so every inner loop is unit-stride. The GCC/Clang vector
+// extension variant pins the 6 accumulator rows in SIMD registers — the
+// compiler picks the widest ISA available (one zmm, two ymm or four xmm
+// per row) and the arithmetic stays elementwise, so results are identical
+// across ISAs.
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef float Vec __attribute__((vector_size(sizeof(float) * kNr)));
+// Unaligned, aliasing-safe view for loads from packed panels (std::vector
+// storage only guarantees float alignment).
+typedef float VecU
+    __attribute__((vector_size(sizeof(float) * kNr), aligned(alignof(float)),
+                   may_alias));
+
+void MicroKernel(int64_t kb, const float* __restrict__ ap,
+                 const float* __restrict__ bp, float* __restrict__ acc) {
+  static_assert(kMr == 6, "accumulator rows are unrolled by hand");
+  Vec c0 = {0.0f}, c1 = {0.0f}, c2 = {0.0f};
+  Vec c3 = {0.0f}, c4 = {0.0f}, c5 = {0.0f};
+  for (int64_t p = 0; p < kb; ++p) {
+    const Vec b = *reinterpret_cast<const VecU*>(bp + p * kNr);
+    const float* aq = ap + p * kMr;
+    // scalar op vector splats the scalar lane-wise (vbroadcastss + FMA).
+    c0 += aq[0] * b;
+    c1 += aq[1] * b;
+    c2 += aq[2] * b;
+    c3 += aq[3] * b;
+    c4 += aq[4] * b;
+    c5 += aq[5] * b;
+  }
+  VecU* out = reinterpret_cast<VecU*>(acc);
+  out[0] = c0;
+  out[1] = c1;
+  out[2] = c2;
+  out[3] = c3;
+  out[4] = c4;
+  out[5] = c5;
+}
+
+#else  // portable scalar fallback
+
+void MicroKernel(int64_t kb, const float* __restrict__ ap,
+                 const float* __restrict__ bp, float* __restrict__ acc) {
+  for (int64_t i = 0; i < kMr * kNr; ++i) acc[i] = 0.0f;
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* aq = ap + p * kMr;
+    const float* bq = bp + p * kNr;
+    for (int64_t i = 0; i < kMr; ++i) {
+      const float av = aq[i];
+      float* arow = acc + i * kNr;
+      for (int64_t j = 0; j < kNr; ++j) arow[j] += av * bq[j];
+    }
+  }
+}
+
+#endif
+
+// Writes the valid (mr x nr) corner of the accumulator tile into C.
+void WriteTile(const float* acc, float* c, int64_t ldc, int64_t mr,
+               int64_t nr, float beta) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = acc + i * kNr;
+    if (beta == 0.0f) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] = arow[j];
+    } else if (beta == 1.0f) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) crow[j] = beta * crow[j] + arow[j];
+    }
+  }
+}
+
+// C block rows [i0, i0+mb): all panels of one packed A block against the
+// packed B panels of the current K panel.
+void ComputeBlock(const float* a_pack, const float* b_pack, int64_t mb,
+                  int64_t n, int64_t kb, float* c, int64_t ldc, float beta) {
+  int64_t panels = CeilDiv(n, kNr);
+  int64_t groups = CeilDiv(mb, kMr);
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    const float* bp = b_pack + jp * kb * kNr;
+    int64_t j0 = jp * kNr;
+    int64_t nr = std::min<int64_t>(kNr, n - j0);
+    for (int64_t g = 0; g < groups; ++g) {
+      float acc[kMr * kNr];  // fully written by MicroKernel
+      MicroKernel(kb, a_pack + g * kb * kMr, bp, acc);
+      WriteTile(acc, c + g * kMr * ldc + j0, ldc,
+                std::min<int64_t>(kMr, mb - g * kMr), nr, beta);
+    }
+  }
+}
+
+// beta-only update for the degenerate k == 0 case (op(A) op(B) is empty).
+void ScaleOutput(int64_t batch, int64_t m, int64_t n, float beta, float* c,
+                 int64_t c_stride, int64_t ldc) {
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* row = c + bi * c_stride + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(row, row + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (int64_t j = 0; j < n; ++j) row[j] *= beta;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
+                     int64_t n, int64_t k, const float* a, int64_t a_stride,
+                     int64_t lda, const float* b, int64_t b_stride,
+                     int64_t ldb, float beta, float* c, int64_t c_stride,
+                     int64_t ldc) {
+  if (batch <= 0 || m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    ScaleOutput(batch, m, n, beta, c, c_stride, ldc);
+    return;
+  }
+  const bool shared_a = a_stride == 0;
+  const bool shared_b = b_stride == 0;
+  const int64_t ic_blocks = CeilDiv(m, kMc);
+  const int64_t panels = CeilDiv(n, kNr);
+
+  // Shared operands are packed once per K panel and reused by every
+  // (batch, row-block) task; per-batch operands are packed into
+  // thread-local scratch inside the task.
+  std::vector<float> shared_a_pack;
+  std::vector<float> shared_b_pack;
+
+  for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const int64_t kb = std::min<int64_t>(kKc, k - p0);
+    // The first K panel applies the caller's beta; later panels accumulate.
+    const float eff_beta = p0 == 0 ? beta : 1.0f;
+    if (shared_b) {
+      shared_b_pack.resize(panels * kb * kNr);
+      PackB(b, ldb, trans_b, p0, kb, n, shared_b_pack.data());
+    }
+    if (shared_a) {
+      // kMc is a multiple of kMr, so row-block g starts at packed group
+      // i0 / kMr and per-block consumption aligns with one whole-M pack.
+      shared_a_pack.resize(CeilDiv(m, kMr) * kb * kMr);
+      PackA(a, lda, trans_a, 0, m, p0, kb, shared_a_pack.data());
+    }
+
+    const int64_t tasks = batch * ic_blocks;
+    // Deterministic per thread count: tasks partition the output, and each
+    // element's accumulation order is fixed by the (p0, p) loop structure.
+#pragma omp parallel for schedule(static) \
+    if (batch * m * n * kb > kParallelCutoff)
+    for (int64_t t = 0; t < tasks; ++t) {
+      const int64_t bi = t / ic_blocks;
+      const int64_t ic = t % ic_blocks;
+      const int64_t i0 = ic * kMc;
+      const int64_t mb = std::min<int64_t>(kMc, m - i0);
+      Scratch* scratch = TlsScratch();
+
+      const float* b_pack;
+      if (shared_b) {
+        b_pack = shared_b_pack.data();
+      } else {
+        scratch->b_pack.resize(panels * kb * kNr);
+        PackB(b + bi * b_stride, ldb, trans_b, p0, kb, n,
+              scratch->b_pack.data());
+        b_pack = scratch->b_pack.data();
+      }
+      const float* a_pack;
+      if (shared_a) {
+        a_pack = shared_a_pack.data() + (i0 / kMr) * kb * kMr;
+      } else {
+        scratch->a_pack.resize(CeilDiv(mb, kMr) * kb * kMr);
+        PackA(a + bi * a_stride, lda, trans_a, i0, mb, p0, kb,
+              scratch->a_pack.data());
+        a_pack = scratch->a_pack.data();
+      }
+      ComputeBlock(a_pack, b_pack, mb, n, kb,
+                   c + bi * c_stride + i0 * ldc, ldc, eff_beta);
+    }
+  }
+}
+
+void GemmInto(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              const float* a, int64_t lda, const float* b, int64_t ldb,
+              float beta, float* c, int64_t ldc) {
+  BatchedGemmInto(1, trans_a, trans_b, m, n, k, a, /*a_stride=*/0, lda, b,
+                  /*b_stride=*/0, ldb, beta, c, /*c_stride=*/0, ldc);
+}
+
+}  // namespace dyhsl::tensor

@@ -1,0 +1,44 @@
+// Cache-blocked, packed float32 GEMM — the compute core behind MatMul and
+// BatchedMatMul in src/tensor/ops.cc.
+//
+// Design notes
+//  * BLIS-style blocking: the K dimension is split into kKc panels, rows
+//    into kMc blocks, and a kMr x kNr register tile is accumulated per
+//    micro-kernel call. Both operands are packed into contiguous panels
+//    first, so every trans_a/trans_b combination runs unit-stride inner
+//    loops — the packing absorbs the strides.
+//  * Deterministic for any OpenMP thread count: parallelism is over
+//    (batch, row-block) tasks inside a K-panel, each output element is
+//    written by exactly one task, and its floating-point accumulation
+//    order (p ascending within a panel, panels ascending) never depends on
+//    the thread count.
+//  * beta semantics follow BLAS: C = beta * C + op(A) op(B), and beta == 0
+//    never reads C, so the output may be uninitialized arena memory.
+
+#ifndef DYHSL_TENSOR_GEMM_H_
+#define DYHSL_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace dyhsl::tensor {
+
+/// \brief C (m x n, row-major, leading dimension ldc) = beta * C +
+/// op(A) op(B). op transposes when the matching flag is set; `lda`/`ldb`
+/// are the leading dimensions of the *stored* (untransposed) operands.
+void GemmInto(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              const float* a, int64_t lda, const float* b, int64_t ldb,
+              float beta, float* c, int64_t ldc);
+
+/// \brief Batched GemmInto. `a_stride`/`b_stride`/`c_stride` advance each
+/// operand between batch items; a stride of 0 shares that operand across
+/// the whole batch, in which case it is packed once and reused by every
+/// batch item (the shared-weight fast path).
+void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
+                     int64_t n, int64_t k, const float* a, int64_t a_stride,
+                     int64_t lda, const float* b, int64_t b_stride,
+                     int64_t ldb, float beta, float* c, int64_t c_stride,
+                     int64_t ldc);
+
+}  // namespace dyhsl::tensor
+
+#endif  // DYHSL_TENSOR_GEMM_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "src/tensor/gemm.h"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -59,8 +61,13 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
     for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], s);
     return out;
   }
-  // Fast path: row broadcast, b matches the trailing axis of a.
-  if (b.dim() == 1 && a.dim() >= 1 && a.size(-1) == b.size(0)) {
+  // Fast path: row broadcast — rank-1 b pairs elementwise with the trailing
+  // axis of a. Valid only when the broadcast result *is* a.shape: b must
+  // match a's trailing axis exactly and no axis of a may need expanding
+  // against b (a size-1 trailing axis with a longer b, say, must fall
+  // through to the general path, which produces a wider output).
+  if (b.dim() == 1 && a.dim() >= 1 && a.size(-1) == b.size(0) &&
+      BroadcastShape(a.shape(), b.shape()) == a.shape()) {
     Tensor out(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
@@ -169,14 +176,7 @@ Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(a, [s](float x) { return x * s; });
 }
 
-void AddInPlace(Tensor* dst, const Tensor& src) {
-  DYHSL_CHECK(SameShape(*dst, src));
-  float* pd = dst->data();
-  const float* ps = src.data();
-  int64_t n = dst->numel();
-#pragma omp parallel for if (n > kParallelCutoff)
-  for (int64_t i = 0; i < n; ++i) pd[i] += ps[i];
-}
+void AddInPlace(Tensor* dst, const Tensor& src) { AddInto(*dst, src, dst); }
 
 void AxpyInPlace(Tensor* dst, float alpha, const Tensor& src) {
   DYHSL_CHECK(SameShape(*dst, src));
@@ -192,6 +192,19 @@ void ScaleInPlace(Tensor* dst, float s) {
   int64_t n = dst->numel();
 #pragma omp parallel for if (n > kParallelCutoff)
   for (int64_t i = 0; i < n; ++i) pd[i] *= s;
+}
+
+// The single fused addition kernel; AddInPlace is the aliasing special
+// case AddInto(dst, src, dst).
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  DYHSL_CHECK(SameShape(a, b));
+  DYHSL_CHECK(SameShape(a, *out));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  int64_t n = a.numel();
+#pragma omp parallel for if (n > kParallelCutoff)
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
 }
 
 Tensor Neg(const Tensor& a) {
@@ -218,6 +231,9 @@ Tensor Log(const Tensor& a) {
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(a, [](float x) { return std::sqrt(x); });
 }
+Tensor Rsqrt(const Tensor& a, float eps) {
+  return UnaryOp(a, [eps](float x) { return 1.0f / std::sqrt(x + eps); });
+}
 Tensor Abs(const Tensor& a) {
   return UnaryOp(a, [](float x) { return std::fabs(x); });
 }
@@ -233,86 +249,116 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
   return UnaryOp(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
-  DYHSL_CHECK_EQ(a.dim(), 2);
-  DYHSL_CHECK_EQ(b.dim(), 2);
-  int64_t m = trans_a ? a.size(1) : a.size(0);
-  int64_t k = trans_a ? a.size(0) : a.size(1);
-  int64_t kb = trans_b ? b.size(1) : b.size(0);
-  int64_t n = trans_b ? b.size(0) : b.size(1);
-  DYHSL_CHECK_MSG(k == kb, "MatMul inner dim mismatch " +
-                               ShapeToString(a.shape()) + " x " +
-                               ShapeToString(b.shape()));
-  Tensor out = Tensor::Zeros({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  int64_t lda = a.size(1);
-  int64_t ldb = b.size(1);
-#pragma omp parallel for if (m * n * k > kParallelCutoff)
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-      if (av == 0.0f) continue;
-      if (!trans_b) {
-        const float* brow = pb + kk * ldb;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      } else {
-        const float* bcol = pb + kk;  // b is (n, k): element (j, kk)
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * bcol[j * ldb];
-      }
-    }
+namespace {
+
+// Validated logical dimensions of a (possibly batched) matmul. A stride of
+// 0 marks an operand shared across the batch.
+struct MatMulDims {
+  int64_t batch;
+  int64_t m, n, k;
+  int64_t a_stride, b_stride;
+  int64_t lda, ldb;
+};
+
+MatMulDims ResolveMatMulDims(const Tensor& a, const Tensor& b, bool trans_a,
+                             bool trans_b, bool batched) {
+  MatMulDims d;
+  if (batched) {
+    DYHSL_CHECK(a.dim() == 3 || a.dim() == 2);
+    DYHSL_CHECK(b.dim() == 3 || b.dim() == 2);
+    DYHSL_CHECK_MSG(a.dim() == 3 || b.dim() == 3,
+                    "BatchedMatMul needs at least one 3-D operand");
+    d.batch = a.dim() == 3 ? a.size(0) : b.size(0);
+    if (a.dim() == 3 && b.dim() == 3) DYHSL_CHECK_EQ(b.size(0), d.batch);
+  } else {
+    DYHSL_CHECK_EQ(a.dim(), 2);
+    DYHSL_CHECK_EQ(b.dim(), 2);
+    d.batch = 1;
   }
+  int64_t a_rows = a.size(a.dim() - 2);
+  int64_t a_cols = a.size(-1);
+  int64_t b_rows = b.size(b.dim() - 2);
+  int64_t b_cols = b.size(-1);
+  d.m = trans_a ? a_cols : a_rows;
+  d.k = trans_a ? a_rows : a_cols;
+  int64_t kb = trans_b ? b_cols : b_rows;
+  d.n = trans_b ? b_rows : b_cols;
+  DYHSL_CHECK_MSG(d.k == kb, "MatMul inner dim mismatch " +
+                                 ShapeToString(a.shape()) + " x " +
+                                 ShapeToString(b.shape()));
+  d.a_stride = a.dim() == 3 ? a_rows * a_cols : 0;
+  d.b_stride = b.dim() == 3 ? b_rows * b_cols : 0;
+  d.lda = a_cols;
+  d.ldb = b_cols;
+  return d;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/false);
+  Tensor out({d.m, d.n});  // uninitialized: beta == 0 fully overwrites
+  GemmInto(trans_a, trans_b, d.m, d.n, d.k, a.data(), d.lda, b.data(), d.ldb,
+           /*beta=*/0.0f, out.data(), d.n);
   return out;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                float beta, Tensor* out) {
+  MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/false);
+  DYHSL_CHECK_MSG(out->shape() == Shape({d.m, d.n}),
+                  "MatMulInto output shape " + ShapeToString(out->shape()) +
+                      " != " + ShapeToString({d.m, d.n}));
+  GemmInto(trans_a, trans_b, d.m, d.n, d.k, a.data(), d.lda, b.data(), d.ldb,
+           beta, out->data(), d.n);
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
                      bool trans_b) {
-  DYHSL_CHECK_EQ(a.dim(), 3);
-  DYHSL_CHECK(b.dim() == 3 || b.dim() == 2);
-  int64_t batch = a.size(0);
-  bool shared_b = b.dim() == 2;
-  if (!shared_b) DYHSL_CHECK_EQ(b.size(0), batch);
-
-  int64_t m = trans_a ? a.size(2) : a.size(1);
-  int64_t k = trans_a ? a.size(1) : a.size(2);
-  int64_t b_rows = shared_b ? b.size(0) : b.size(1);
-  int64_t b_cols = shared_b ? b.size(1) : b.size(2);
-  int64_t kb = trans_b ? b_cols : b_rows;
-  int64_t n = trans_b ? b_rows : b_cols;
-  DYHSL_CHECK_MSG(k == kb, "BatchedMatMul inner dim mismatch " +
-                               ShapeToString(a.shape()) + " x " +
-                               ShapeToString(b.shape()));
-  Tensor out = Tensor::Zeros({batch, m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  int64_t a_step = a.size(1) * a.size(2);
-  int64_t b_step = shared_b ? 0 : b_rows * b_cols;
-  int64_t o_step = m * n;
-  int64_t lda = a.size(2);
-  int64_t ldb = b_cols;
-#pragma omp parallel for collapse(2) if (batch * m * n * k > kParallelCutoff)
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* pab = pa + bi * a_step;
-      const float* pbb = pb + bi * b_step;
-      float* orow = po + bi * o_step + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        float av = trans_a ? pab[kk * lda + i] : pab[i * lda + kk];
-        if (av == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = pbb + kk * ldb;
-          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        } else {
-          const float* bcol = pbb + kk;
-          for (int64_t j = 0; j < n; ++j) orow[j] += av * bcol[j * ldb];
-        }
-      }
-    }
-  }
+  MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/true);
+  Tensor out({d.batch, d.m, d.n});
+  BatchedGemmInto(d.batch, trans_a, trans_b, d.m, d.n, d.k, a.data(),
+                  d.a_stride, d.lda, b.data(), d.b_stride, d.ldb,
+                  /*beta=*/0.0f, out.data(), d.m * d.n, d.n);
   return out;
+}
+
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, bool trans_a,
+                       bool trans_b, float beta, Tensor* out) {
+  MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/true);
+  DYHSL_CHECK_MSG(out->shape() == Shape({d.batch, d.m, d.n}),
+                  "BatchedMatMulInto output shape " +
+                      ShapeToString(out->shape()) + " != " +
+                      ShapeToString({d.batch, d.m, d.n}));
+  BatchedGemmInto(d.batch, trans_a, trans_b, d.m, d.n, d.k, a.data(),
+                  d.a_stride, d.lda, b.data(), d.b_stride, d.ldb, beta,
+                  out->data(), d.m * d.n, d.n);
+}
+
+void BatchedMatMulReduceInto(const Tensor& a, const Tensor& b, bool trans_a,
+                             bool trans_b, float beta, Tensor* out) {
+  DYHSL_CHECK_EQ(a.dim(), 3);
+  DYHSL_CHECK_EQ(b.dim(), 3);
+  MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/true);
+  DYHSL_CHECK_MSG(out->shape() == Shape({d.m, d.n}),
+                  "BatchedMatMulReduceInto output shape " +
+                      ShapeToString(out->shape()) + " != " +
+                      ShapeToString({d.m, d.n}));
+  if (d.batch == 0) {
+    if (beta == 0.0f) {
+      out->Fill(0.0f);
+    } else if (beta != 1.0f) {
+      ScaleInPlace(out, beta);
+    }
+    return;
+  }
+  // Sequential over the batch (deterministic reduction order); each GEMM
+  // parallelizes internally.
+  for (int64_t bi = 0; bi < d.batch; ++bi) {
+    GemmInto(trans_a, trans_b, d.m, d.n, d.k, a.data() + bi * d.a_stride,
+             d.lda, b.data() + bi * d.b_stride, d.ldb,
+             bi == 0 ? beta : 1.0f, out->data(), d.n);
+  }
 }
 
 Tensor Transpose2D(const Tensor& a) {
@@ -484,26 +530,28 @@ Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
   return s;
 }
 
-Tensor SoftmaxLastAxis(const Tensor& a) {
-  int64_t cols = a.size(-1);
-  int64_t rows = a.numel() / cols;
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-#pragma omp parallel for if (a.numel() > kParallelCutoff)
+void SoftmaxLastAxisInPlace(Tensor* a) {
+  int64_t cols = a->size(-1);
+  int64_t rows = a->numel() / cols;
+  float* pa = a->data();
+#pragma omp parallel for if (a->numel() > kParallelCutoff)
   for (int64_t r = 0; r < rows; ++r) {
-    const float* in = pa + r * cols;
-    float* o = po + r * cols;
+    float* o = pa + r * cols;
     float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+    for (int64_t c = 0; c < cols; ++c) mx = std::max(mx, o[c]);
     float denom = 0.0f;
     for (int64_t c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
+      o[c] = std::exp(o[c] - mx);
       denom += o[c];
     }
     float inv = 1.0f / denom;
     for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
   }
+}
+
+Tensor SoftmaxLastAxis(const Tensor& a) {
+  Tensor out = a.Clone();
+  SoftmaxLastAxisInPlace(&out);
   return out;
 }
 

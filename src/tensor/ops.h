@@ -49,6 +49,14 @@ void AxpyInPlace(Tensor* dst, float alpha, const Tensor& src);
 void ScaleInPlace(Tensor* dst, float s);
 /// @}
 
+/// \name Out-parameter (fused) variants
+/// Write into a preallocated output instead of allocating one, so hot
+/// loops (autograd backward, optimizer) run without per-op allocation.
+/// @{
+/// out = a + b (same shape; out may alias a or b).
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out);
+/// @}
+
 /// \name Elementwise unary
 /// @{
 Tensor Neg(const Tensor& a);
@@ -67,17 +75,36 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 /// @}
 
 /// \name Matrix products
+/// All matmuls run on the blocked, packed GEMM in src/tensor/gemm.h: every
+/// trans_a/trans_b combination packs into unit-stride panels, and results
+/// are bit-deterministic for any OpenMP thread count.
 /// @{
 
 /// \brief 2-D product C = op(A) * op(B), where op transposes when requested.
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
 
-/// \brief Batched product over leading dim. `a` is (B, M, K); `b` is either
-/// (B, K, N) or 2-D (K, N) shared across the batch (trans flags apply to the
-/// trailing two axes).
+/// \brief out = beta * out + op(A) op(B). beta == 0 never reads `out` (it
+/// may be uninitialized); beta == 1 accumulates — the autograd backward
+/// uses this to add matmul gradients straight into existing grad buffers.
+void MatMulInto(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                float beta, Tensor* out);
+
+/// \brief Batched product over the leading dim. `a` is (B, M, K) or 2-D
+/// (M, K) shared across the batch; `b` is (B, K, N) or 2-D (K, N) shared.
+/// Trans flags apply to the trailing two axes; a shared operand is packed
+/// once and reused for every batch item.
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
                      bool trans_b = false);
+
+/// \brief Batched MatMulInto with the same shared-operand rules.
+void BatchedMatMulInto(const Tensor& a, const Tensor& b, bool trans_a,
+                       bool trans_b, float beta, Tensor* out);
+
+/// \brief out (2-D) = beta * out + sum over the batch of op(A_b) op(B_b),
+/// for 3-D `a` and `b`. This is the gradient of a batch-shared operand.
+void BatchedMatMulReduceInto(const Tensor& a, const Tensor& b, bool trans_a,
+                             bool trans_b, float beta, Tensor* out);
 /// @}
 
 /// \name Movement
@@ -104,6 +131,12 @@ Tensor Mean(const Tensor& a, int64_t axis, bool keepdims = false);
 
 /// \brief Numerically stable softmax over the last axis.
 Tensor SoftmaxLastAxis(const Tensor& a);
+
+/// \brief In-place variant of SoftmaxLastAxis (no output allocation).
+void SoftmaxLastAxisInPlace(Tensor* a);
+
+/// \brief Elementwise 1 / sqrt(a + eps) (fused normalization denominator).
+Tensor Rsqrt(const Tensor& a, float eps = 0.0f);
 
 /// \brief Result of a pooling op; `argmax` holds flat input indices per
 /// output element so the backward pass can scatter gradients.

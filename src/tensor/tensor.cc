@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "src/tensor/workspace.h"
+
 namespace dyhsl::tensor {
 
 int64_t NumElements(const Shape& shape) {
@@ -29,7 +31,8 @@ std::string ShapeToString(const Shape& shape) {
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   numel_ = NumElements(shape_);
-  storage_ = std::shared_ptr<float[]>(new float[std::max<int64_t>(numel_, 1)]);
+  // Arena-backed when a WorkspaceScope is active, heap otherwise.
+  storage_ = AllocateStorage(numel_);
 }
 
 Tensor Tensor::Zeros(Shape shape) {

@@ -6,7 +6,9 @@
 //    small cost in copies, which profiling shows are dwarfed by matmuls for
 //    the workloads in this repository.
 //  * Storage is shared (shared_ptr), so Tensor is a cheap value type; Clone()
-//    makes a deep copy when isolation is required.
+//    makes a deep copy when isolation is required. Allocation goes through
+//    AllocateStorage (src/tensor/workspace.h): heap by default, arena-backed
+//    inside a WorkspaceScope (the training loop installs one per step).
 //  * Only float32 is supported: every model and kernel in the paper operates
 //    on float features; index arrays use std::vector<int64_t> directly.
 

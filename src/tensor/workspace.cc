@@ -1,0 +1,123 @@
+#include "src/tensor/workspace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/check.h"
+
+namespace dyhsl::tensor {
+namespace {
+
+thread_local Workspace* g_current_workspace = nullptr;
+
+// 64-byte alignment keeps every allocation on its own cache line and SIMD
+// loads aligned regardless of neighboring tensors.
+constexpr int64_t kAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+// Slabs cap their geometric growth here (256 MiB of floats) so one huge
+// tensor does not commit the arena to huge slabs forever after.
+constexpr int64_t kMaxSlabFloats = int64_t{1} << 26;
+
+}  // namespace
+
+Workspace* Workspace::Current() { return g_current_workspace; }
+
+Workspace::Workspace(int64_t min_slab_floats)
+    : next_slab_floats_(std::max<int64_t>(min_slab_floats, kAlignFloats)) {}
+
+// Handles capture their slab's data shared_ptr, so outstanding tensors
+// keep their memory alive past workspace destruction.
+Workspace::~Workspace() = default;
+
+Workspace::Slab* Workspace::SlabWithRoom(int64_t need) {
+  for (Slab& slab : slabs_) {
+    if (slab.capacity - slab.offset >= need) return &slab;
+  }
+  Slab slab;
+  slab.capacity = std::max(need, next_slab_floats_);
+  slab.data = std::shared_ptr<float[]>(new float[slab.capacity]);
+  slab.live = std::make_shared<std::atomic<int64_t>>(0);
+  next_slab_floats_ = std::min(slab.capacity * 2, kMaxSlabFloats);
+  slabs_.push_back(std::move(slab));
+  return &slabs_.back();
+}
+
+std::shared_ptr<float[]> Workspace::Allocate(int64_t numel) {
+  DYHSL_CHECK_GE(numel, 0);
+  int64_t need = AlignUp(std::max<int64_t>(numel, 1));
+  Slab* slab = SlabWithRoom(need);
+  float* p = slab->data.get() + slab->offset;
+  slab->offset += need;
+  slab->live->fetch_add(1, std::memory_order_relaxed);
+  // The deleter owns a reference to the slab storage: the memory outlives
+  // both Reset() retirement and the Workspace itself while handles exist.
+  std::shared_ptr<float[]> keep_alive = slab->data;
+  std::shared_ptr<std::atomic<int64_t>> live = slab->live;
+  return std::shared_ptr<float[]>(p, [keep_alive, live](float*) {
+    live->fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void Workspace::Reset() {
+  // Reclaim retired slabs whose last handle has since dropped.
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [](const Slab& slab) {
+                       return slab.live->load(std::memory_order_acquire) == 0;
+                     }),
+      retired_.end());
+  for (auto it = slabs_.begin(); it != slabs_.end();) {
+    if (it->live->load(std::memory_order_acquire) == 0) {
+      it->offset = 0;
+      ++it;
+    } else {
+      retired_.push_back(std::move(*it));
+      it = slabs_.erase(it);
+    }
+  }
+}
+
+int64_t Workspace::live_allocations() const {
+  int64_t total = 0;
+  for (const Slab& slab : slabs_) {
+    total += slab.live->load(std::memory_order_acquire);
+  }
+  for (const Slab& slab : retired_) {
+    total += slab.live->load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+int64_t Workspace::bytes_reserved() const {
+  int64_t floats = 0;
+  for (const Slab& slab : slabs_) floats += slab.capacity;
+  for (const Slab& slab : retired_) floats += slab.capacity;
+  return floats * static_cast<int64_t>(sizeof(float));
+}
+
+WorkspaceScope::WorkspaceScope(Workspace* workspace)
+    : previous_(g_current_workspace) {
+  DYHSL_CHECK(workspace != nullptr);
+  g_current_workspace = workspace;
+}
+
+WorkspaceScope::~WorkspaceScope() { g_current_workspace = previous_; }
+
+WorkspaceBypass::WorkspaceBypass() : previous_(g_current_workspace) {
+  g_current_workspace = nullptr;
+}
+
+WorkspaceBypass::~WorkspaceBypass() { g_current_workspace = previous_; }
+
+std::shared_ptr<float[]> AllocateStorage(int64_t numel) {
+  if (Workspace* workspace = g_current_workspace) {
+    return workspace->Allocate(numel);
+  }
+  return std::shared_ptr<float[]>(new float[std::max<int64_t>(numel, 1)]);
+}
+
+}  // namespace dyhsl::tensor

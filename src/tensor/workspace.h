@@ -1,0 +1,120 @@
+// Step-scoped arena allocator for tensor storage.
+//
+// Training allocates thousands of short-lived tensors per step (forward
+// activations, backward temporaries, gradient buffers). A Workspace
+// bump-allocates them from large slabs and recycles the whole arena with
+// one Reset() per step, eliminating the per-op malloc/free traffic in the
+// hot loop.
+//
+// Safety model
+//  * Handles are ordinary shared_ptr<float[]> deleters that keep the
+//    owning slab's memory alive. A tensor that outlives Reset() — e.g. a
+//    parameter gradient that the optimizer keeps across steps — therefore
+//    stays valid; its slab is merely *retired* (no longer bump-allocated
+//    from) instead of rewound, and its memory is reclaimed once the last
+//    handle drops.
+//  * Reset() rewinds every slab whose live-allocation count is zero. The
+//    steady state of a training loop is one slab rewound per step with no
+//    allocation at all after warm-up.
+//  * Allocation is single-threaded (the owning thread of the installing
+//    WorkspaceScope); handle release may happen on any thread.
+
+#ifndef DYHSL_TENSOR_WORKSPACE_H_
+#define DYHSL_TENSOR_WORKSPACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dyhsl::tensor {
+
+/// \brief Bump-allocating arena for float tensor storage with per-step
+/// Reset() recycling. See the file comment for the safety model.
+class Workspace {
+ public:
+  /// \brief `min_slab_floats` sizes the first slab; later slabs grow
+  /// geometrically so arbitrary workloads settle on O(1) slabs.
+  explicit Workspace(int64_t min_slab_floats = int64_t{1} << 18);
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// \brief Bump-allocates uninitialized storage for `numel` floats.
+  std::shared_ptr<float[]> Allocate(int64_t numel);
+
+  /// \brief Starts a new step: slabs with no live allocations rewind and
+  /// are reused; still-referenced slabs are retired (memory stays valid
+  /// until their last handle drops).
+  void Reset();
+
+  /// \name Introspection (tests and diagnostics)
+  /// @{
+  int64_t slab_count() const { return static_cast<int64_t>(slabs_.size()); }
+  int64_t retired_count() const {
+    return static_cast<int64_t>(retired_.size());
+  }
+  int64_t live_allocations() const;
+  int64_t bytes_reserved() const;
+  /// @}
+
+  /// \brief Workspace installed by the innermost active WorkspaceScope on
+  /// the calling thread, or nullptr when none is active.
+  static Workspace* Current();
+
+ private:
+  struct Slab {
+    std::shared_ptr<float[]> data;
+    int64_t capacity = 0;  // floats
+    int64_t offset = 0;    // bump pointer, floats
+    std::shared_ptr<std::atomic<int64_t>> live;
+  };
+
+  Slab* SlabWithRoom(int64_t need);
+
+  int64_t next_slab_floats_;
+  std::vector<Slab> slabs_;
+  std::vector<Slab> retired_;
+};
+
+/// \brief RAII guard installing a workspace as the calling thread's
+/// current allocator. While active, Tensor storage allocation (see
+/// AllocateStorage) draws from the arena. Scopes nest; the previous
+/// current workspace is restored on destruction.
+class WorkspaceScope {
+ public:
+  explicit WorkspaceScope(Workspace* workspace);
+  ~WorkspaceScope();
+
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  Workspace* previous_;
+};
+
+/// \brief RAII guard forcing heap allocation even while a WorkspaceScope
+/// is active. Used for buffers that intentionally outlive the step — e.g.
+/// parameter gradients, which the optimizer keeps across steps; letting
+/// them land in the arena would retire (pin) whole step slabs forever.
+class WorkspaceBypass {
+ public:
+  WorkspaceBypass();
+  ~WorkspaceBypass();
+
+  WorkspaceBypass(const WorkspaceBypass&) = delete;
+  WorkspaceBypass& operator=(const WorkspaceBypass&) = delete;
+
+ private:
+  Workspace* previous_;
+};
+
+/// \brief Storage for `numel` floats: bump-allocated from the current
+/// workspace when a scope is active on this thread, heap-allocated
+/// otherwise. This is the single allocation path used by Tensor.
+std::shared_ptr<float[]> AllocateStorage(int64_t numel);
+
+}  // namespace dyhsl::tensor
+
+#endif  // DYHSL_TENSOR_WORKSPACE_H_

@@ -7,6 +7,7 @@
 #include "src/core/logging.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 
 namespace dyhsl::train {
 namespace {
@@ -34,6 +35,11 @@ TrainResult TrainModel(ForecastModel* model,
   auto run_start = Clock::now();
   double best_val = std::numeric_limits<double>::infinity();
   int64_t bad_epochs = 0;
+  // One arena serves every training step: the step's activations, backward
+  // temporaries and gradient buffers bump-allocate from it, and Reset()
+  // recycles the memory once the step's tape has been dropped — no per-op
+  // malloc in the inner loop after warm-up.
+  tensor::Workspace workspace;
 
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     train_iter.Reset();
@@ -45,13 +51,17 @@ TrainResult TrainModel(ForecastModel* model,
           batches >= config.max_batches_per_epoch) {
         break;
       }
-      optimizer.ZeroGrad();
-      autograd::Variable pred = model->Forward(batch.x, /*training=*/true);
-      autograd::Variable loss = MaskedMaeLoss(pred, batch.y);
-      loss.Backward();
-      optim::ClipGradNorm(optimizer.params(), config.grad_clip);
-      optimizer.Step();
-      loss_sum += loss.value().data()[0];
+      {
+        tensor::WorkspaceScope scope(&workspace);
+        optimizer.ZeroGrad();
+        autograd::Variable pred = model->Forward(batch.x, /*training=*/true);
+        autograd::Variable loss = MaskedMaeLoss(pred, batch.y);
+        loss.Backward();
+        optim::ClipGradNorm(optimizer.params(), config.grad_clip);
+        optimizer.Step();
+        loss_sum += loss.value().data()[0];
+      }  // the tape (pred/loss) dies here, releasing its arena memory
+      workspace.Reset();
       ++batches;
     }
     double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
@@ -99,16 +109,21 @@ EvalResult EvaluateModel(ForecastModel* model,
   EvalResult result;
   auto start = std::chrono::steady_clock::now();
   int64_t batches = 0;
+  tensor::Workspace workspace;
   while (iter.Next(&batch)) {
     if (max_batches > 0 && batches >= max_batches) break;
-    autograd::Variable pred = model->Forward(batch.x, /*training=*/false);
-    const tensor::Tensor& p = pred.value();
-    overall.Add(p, batch.y);
-    for (int64_t t = 0; t < dataset.horizon(); ++t) {
-      horizon[t].Add(tensor::Slice(p, 1, t, 1),
-                     tensor::Slice(batch.y, 1, t, 1));
+    {
+      tensor::WorkspaceScope scope(&workspace);
+      autograd::Variable pred = model->Forward(batch.x, /*training=*/false);
+      const tensor::Tensor& p = pred.value();
+      overall.Add(p, batch.y);
+      for (int64_t t = 0; t < dataset.horizon(); ++t) {
+        horizon[t].Add(tensor::Slice(p, 1, t, 1),
+                       tensor::Slice(batch.y, 1, t, 1));
+      }
+      result.windows += batch.x.size(0);
     }
-    result.windows += batch.x.size(0);
+    workspace.Reset();
     ++batches;
   }
   result.seconds = SecondsSince(start);

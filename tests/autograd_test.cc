@@ -247,6 +247,75 @@ TEST_F(OpGradCheck, BatchedMatMulSharedRhsTransB) {
          Param(T::Tensor::Randn({5, 4}, &rng_))});
 }
 
+TEST_F(OpGradCheck, BatchedMatMulSharedRhsTransBoth) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, true));
+        },
+        {Param(T::Tensor::Randn({2, 4, 3}, &rng_)),
+         Param(T::Tensor::Randn({5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedRhsTransA) {
+  // trans_a with a batch-shared RHS was previously rejected; the gradient
+  // now batch-reduces through BatchedMatMulReduceInto.
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, false));
+        },
+        {Param(T::Tensor::Randn({2, 4, 3}, &rng_)),
+         Param(T::Tensor::Randn({4, 2}, &rng_))});
+}
+
+// The shared-LHS form U @ M_b (2-D a, 3-D b) that replaced the
+// TransposePerm/BatchedMatMul/TransposePerm sandwich in the DHSL block —
+// all four trans combinations.
+TEST_F(OpGradCheck, BatchedMatMulSharedLhs) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1]));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_)),
+         Param(T::Tensor::Randn({2, 4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedLhsTransA) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, false));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_)),
+         Param(T::Tensor::Randn({2, 4, 2}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedLhsTransB) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], false, true));
+        },
+        {Param(T::Tensor::Randn({3, 4}, &rng_)),
+         Param(T::Tensor::Randn({2, 5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulSharedLhsTransBoth) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, true));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_)),
+         Param(T::Tensor::Randn({2, 5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, BatchedMatMulBothTransNonShared) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(BatchedMatMul(in[0], in[1], true, true));
+        },
+        {Param(T::Tensor::Randn({2, 4, 3}, &rng_)),
+         Param(T::Tensor::Randn({2, 5, 4}, &rng_))});
+}
+
+TEST_F(OpGradCheck, InvSqrtPositiveDomain) {
+  // Inputs bounded away from zero so the finite difference stays stable.
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(InvSqrt(in[0], /*eps=*/0.1f));
+        },
+        {Param(T::Tensor::Uniform({3, 4}, &rng_, 0.5f, 2.0f))});
+}
+
 TEST_F(OpGradCheck, SpMMGradFlowsThroughDense) {
   auto adj = T::SparseOp::Create(T::CsrMatrix::FromTriplets(
       3, 3,

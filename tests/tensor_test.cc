@@ -95,6 +95,47 @@ TEST(OpsTest, BroadcastMiddleAxis) {
   EXPECT_EQ(c.At({1, 1, 0}), 210.0f);
 }
 
+// Regression tests for the row-broadcast fast path in BinaryOp: the fast
+// path may fire only when rank-1 b pairs elementwise with a's trailing
+// axis AND the result shape is exactly a.shape. A rank-1 b whose length
+// coincidentally matches some axis of a (or divides a.numel()) must still
+// go through the general path.
+TEST(OpsTest, RankOneRhsMatchingNonTrailingAxisUsesGeneralPath) {
+  // b's length 3 matches a's *middle* axis, while a's trailing axis is 1
+  // and must broadcast against b: the output widens to (2, 3, 3). A sloppy
+  // "length divides numel" row fast path would pair b with flattened rows
+  // of a and produce shape (2, 3, 1) garbage.
+  Tensor a = Tensor::FromVector({2, 3, 1}, {0, 1, 2, 10, 11, 12});
+  Tensor b = Tensor::FromVector({3}, {100, 200, 300});
+  Tensor c = Add(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 3, 3}));
+  EXPECT_EQ(c.At({0, 0, 0}), 100.0f);
+  EXPECT_EQ(c.At({0, 0, 2}), 300.0f);
+  EXPECT_EQ(c.At({1, 2, 1}), 212.0f);
+}
+
+TEST(OpsTest, RankOneRhsAgainstSizeOneTrailingAxisExpands) {
+  // a's trailing axis is 1, b is longer: the general path must widen the
+  // output (outer-product-style), not pair "rows" of a with b.
+  Tensor a = Tensor::FromVector({3, 1}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({4}, {10, 20, 30, 40});
+  Tensor c = Mul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  EXPECT_EQ(c.At({0, 0}), 10.0f);
+  EXPECT_EQ(c.At({2, 3}), 120.0f);
+}
+
+TEST(OpsTest, RowBroadcastFastPathMatchesGeneralSemantics) {
+  // Exact trailing match (including through a middle size-1 axis): the
+  // fast path must agree with manually computed row-wise subtraction for
+  // a non-commutative op.
+  Tensor a = Tensor::FromVector({2, 1, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {1, 1, 2});
+  Tensor c = Sub(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 1, 3}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{0, 1, 1, 3, 4, 4}));
+}
+
 TEST(OpsTest, ReduceToShapeInvertsBroadcast) {
   Tensor g = Tensor::Ones({2, 3});
   Tensor r = ReduceToShape(g, {3});
