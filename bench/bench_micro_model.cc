@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/autograd/inference.h"
 #include "src/autograd/ops.h"
 #include "src/data/dataset.h"
 #include "src/models/dyhsl.h"
@@ -16,24 +17,7 @@ namespace {
 namespace T = ::dyhsl::tensor;
 
 // Synthetic task over a ring road of n sensors, without a full dataset.
-train::ForecastTask RingTask(int64_t n, int64_t history) {
-  std::vector<T::Triplet> edges;
-  for (int64_t i = 0; i < n; ++i) {
-    edges.push_back({i, (i + 1) % n, 1.0f});
-    edges.push_back({(i + 1) % n, i, 1.0f});
-  }
-  train::ForecastTask task;
-  task.num_nodes = n;
-  task.input_dim = 3;
-  task.history = history;
-  task.horizon = 12;
-  task.scaler_mean = 200.0f;
-  task.scaler_std = 80.0f;
-  task.spatial_adj = T::CsrMatrix::FromTriplets(n, n, std::move(edges));
-  task.district_labels.assign(n, 0);
-  for (int64_t i = 0; i < n; ++i) task.district_labels[i] = i % 4;
-  return task;
-}
+using train::RingForecastTask;
 
 models::DyHslConfig SmallConfig() {
   models::DyHslConfig cfg;
@@ -49,7 +33,7 @@ models::DyHslConfig SmallConfig() {
 // Linear scaling in the number of nodes (||A||_0 proportional to N here).
 void BM_DyHslForwardBackward_Nodes(benchmark::State& state) {
   int64_t n = state.range(0);
-  train::ForecastTask task = RingTask(n, 12);
+  train::ForecastTask task = RingForecastTask(n, 12);
   models::DyHsl model(task, SmallConfig());
   Rng rng(1);
   T::Tensor x = T::Tensor::Randn({4, 12, n, 3}, &rng, 0.5f);
@@ -73,7 +57,7 @@ BENCHMARK(BM_DyHslForwardBackward_Nodes)
 // divisors of every tested T).
 void BM_DyHslForwardBackward_History(benchmark::State& state) {
   int64_t t_in = state.range(0);
-  train::ForecastTask task = RingTask(48, t_in);
+  train::ForecastTask task = RingForecastTask(48, t_in);
   models::DyHslConfig cfg = SmallConfig();
   cfg.window_sizes = {1, t_in / 2, t_in};
   models::DyHsl model(task, cfg);
@@ -97,12 +81,13 @@ BENCHMARK(BM_DyHslForwardBackward_History)
 // Inference latency: DyHSL vs representative baselines at equal size.
 template <const char* kKey>
 void BM_ModelForward(benchmark::State& state) {
-  train::ForecastTask task = RingTask(64, 12);
+  train::ForecastTask task = RingForecastTask(64, 12);
   train::ZooConfig zoo;
   zoo.hidden_dim = 16;
   auto model = train::MakeNeuralModel(kKey, task, zoo);
   Rng rng(3);
   T::Tensor x = T::Tensor::Randn({4, 12, 64, 3}, &rng, 0.5f);
+  autograd::InferenceModeGuard no_grad;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         model->Forward(x, /*training=*/false).value().data()[0]);

@@ -1,0 +1,25 @@
+#include "src/autograd/inference.h"
+
+#include <cstdint>
+
+#include "src/core/check.h"
+
+namespace dyhsl::autograd {
+namespace {
+
+// Depth counter rather than a flag so guards nest (an engine-level guard
+// around an eval loop that installs its own is fine).
+thread_local int64_t g_inference_depth = 0;
+
+}  // namespace
+
+InferenceModeGuard::InferenceModeGuard() { ++g_inference_depth; }
+
+InferenceModeGuard::~InferenceModeGuard() {
+  DYHSL_CHECK_GT(g_inference_depth, 0);
+  --g_inference_depth;
+}
+
+bool InferenceModeEnabled() { return g_inference_depth > 0; }
+
+}  // namespace dyhsl::autograd

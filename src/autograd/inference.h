@@ -1,0 +1,41 @@
+// Grad-free inference mode.
+//
+// Training builds a computation tape: every op output is a Node carrying
+// parent edges and a backward closure, and all intermediate activations
+// stay alive until the tape is dropped. Inference never consumes that
+// graph, so inside an InferenceModeGuard the op layer skips tape
+// construction entirely: MakeOpResult returns leaf variables that hold
+// only the value tensor — no Node parents, no closures, no shared_ptr
+// graph — and intermediates are released the moment the last Variable
+// referencing them dies. Combined with a step-scoped Workspace (whose
+// bump allocator reclaims trailing frees, see src/tensor/workspace.h)
+// an eval/serve forward runs malloc-free with a cache-sized working set.
+//
+// The guard is thread-local and re-entrant: nesting is counted, and
+// serve worker threads each maintain their own mode independently.
+// Calling Variable::Backward() while the guard is active is a programmer
+// error and aborts through DYHSL_CHECK.
+
+#ifndef DYHSL_AUTOGRAD_INFERENCE_H_
+#define DYHSL_AUTOGRAD_INFERENCE_H_
+
+namespace dyhsl::autograd {
+
+/// \brief RAII guard enabling grad-free inference mode on the calling
+/// thread. While at least one guard is alive, ops produce tape-less leaf
+/// variables and Backward() is a checked error.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+};
+
+/// \brief True iff an InferenceModeGuard is active on the calling thread.
+bool InferenceModeEnabled();
+
+}  // namespace dyhsl::autograd
+
+#endif  // DYHSL_AUTOGRAD_INFERENCE_H_

@@ -3,8 +3,10 @@
 #include <cstring>
 #include <utility>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/vecmath.h"
 #include "src/tensor/workspace.h"
 
 namespace dyhsl::autograd {
@@ -24,6 +26,15 @@ void Accumulate(Node* node, size_t i, const T::Tensor& g) {
   Node* parent = node->parents[i].get();
   if (!parent->requires_grad) return;
   parent->AccumulateGrad(g);
+}
+
+// Inference-mode in-place precondition: a tape-less leaf that nothing
+// else references — neither another Variable (SoleOwner) nor another
+// Tensor sharing the buffer through a Reshape view (UniqueStorage).
+// Parameters never qualify: their module keeps a reference.
+bool CanMutateInPlace(const Variable& a) {
+  return InferenceModeEnabled() && a.defined() && !a.requires_grad() &&
+         a.SoleOwner() && a.value().UniqueStorage();
 }
 
 bool ParentNeedsGrad(Node* node, size_t i) {
@@ -224,6 +235,40 @@ Variable MatMul(const Variable& a, const Variable& b, bool trans_a,
       });
 }
 
+Variable Affine(const Variable& x, const Variable& w, const Variable& b) {
+  DYHSL_CHECK_EQ(x.dim(), 2);
+  DYHSL_CHECK_EQ(w.dim(), 2);
+  DYHSL_CHECK_EQ(x.size(1), w.size(0));
+  // Rank-1 required (not just matching numel): the bias VJP is the rank-1
+  // column sum of the output gradient.
+  DYHSL_CHECK_EQ(b.dim(), 1);
+  DYHSL_CHECK_EQ(b.numel(), w.size(1));
+  T::Tensor xv = x.value(), wv = w.value();
+  int64_t m = xv.size(0), n = wv.size(1);
+  T::Tensor y({m, n});
+  // C-init with the bias rows, then accumulate the products on top
+  // (beta = 1). One output pass instead of MatMul followed by a
+  // broadcast Add. Bit-identical to that chain for k <= one GEMM K
+  // panel (x + y == y + x in IEEE float); for larger k the bias joins
+  // the sum first and results differ from the chain only in rounding —
+  // taped and grad-free calls share this kernel either way, so
+  // cross-mode bit-identity always holds (AffineTest covers both).
+  const float* pb = b.value().data();
+  float* py = y.data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(py + i * n, pb, static_cast<size_t>(n) * sizeof(float));
+  }
+  T::MatMulInto(xv, wv, false, false, /*beta=*/1.0f, &y);
+  return MakeOpResult(std::move(y), {x, w, b}, [xv, wv](Node* node) {
+    const T::Tensor& g = node->grad;
+    AccumulateMatMul(node, 0, g, wv, false, true);
+    AccumulateMatMul(node, 1, xv, g, true, false);
+    if (ParentNeedsGrad(node, 2)) {
+      Accumulate(node, 2, T::Sum(g, 0));  // db = column sum
+    }
+  });
+}
+
 Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
                        bool trans_b) {
   T::Tensor av = a.value(), bv = b.value();
@@ -410,8 +455,66 @@ Variable SoftmaxLastAxis(const Variable& a) {
   });
 }
 
+Variable LayerNormLastAxis(const Variable& x, const Variable& gamma,
+                           const Variable& beta, float eps) {
+  const T::Tensor& xv = x.value();
+  T::Tensor y(xv.shape());
+  if (InferenceModeEnabled()) {
+    // Grad-free: one pass, no saved statistics.
+    T::LayerNormLastAxisInto(xv, gamma.value(), beta.value(), eps, &y);
+    return Variable(std::move(y), /*requires_grad=*/false);
+  }
+  int64_t cols = xv.size(-1);
+  int64_t rows = xv.numel() / cols;
+  T::Tensor xhat(xv.shape());
+  T::Tensor inv_std({rows});
+  T::LayerNormLastAxisInto(xv, gamma.value(), beta.value(), eps, &y, &xhat,
+                           &inv_std);
+  tensor::Shape row_stat_shape = xv.shape();
+  row_stat_shape.back() = 1;
+  inv_std = inv_std.Reshape(std::move(row_stat_shape));
+  return MakeOpResult(
+      std::move(y), {x, gamma, beta}, [xhat, inv_std, rows, cols](Node* n) {
+        const T::Tensor& g = n->grad;
+        if (ParentNeedsGrad(n, 1)) {
+          // dgamma = sum over rows of g * xhat.
+          T::Tensor gx2 = T::Mul(g, xhat).Reshape({rows, cols});
+          Accumulate(n, 1, T::Sum(gx2, 0));
+        }
+        if (ParentNeedsGrad(n, 2)) {
+          Accumulate(n, 2, T::Sum(g.Reshape({rows, cols}), 0));
+        }
+        if (!ParentNeedsGrad(n, 0)) return;
+        // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))
+        // with per-row means; dxhat = g * gamma.
+        T::Tensor dxhat = T::Mul(g, n->parents[1]->value);
+        T::Tensor m1 = T::Mean(dxhat, -1, /*keepdims=*/true);
+        T::Tensor m2 = T::Mean(T::Mul(dxhat, xhat), -1, /*keepdims=*/true);
+        T::Tensor dx = T::Mul(
+            T::Sub(T::Sub(dxhat, m1), T::Mul(xhat, m2)), inv_std);
+        Accumulate(n, 0, dx);
+      });
+}
+
+Variable LayerNormLastAxis(Variable&& x, const Variable& gamma,
+                           const Variable& beta, float eps) {
+  if (CanMutateInPlace(x)) {
+    // Row statistics are computed before each row is overwritten, so
+    // normalizing into the input's storage is safe and bit-identical.
+    tensor::Tensor* value = x.mutable_value();
+    T::LayerNormLastAxisInto(*value, gamma.value(), beta.value(), eps, value);
+    return std::move(x);
+  }
+  return LayerNormLastAxis(static_cast<const Variable&>(x), gamma, beta, eps);
+}
+
 Variable MaxPoolAxis(const Variable& a, int64_t axis, int64_t window) {
   int64_t norm_axis = axis < 0 ? axis + a.dim() : axis;
+  if (InferenceModeEnabled()) {
+    // No backward — skip the argmax index tensor entirely.
+    return Variable(T::MaxPoolAxisValues(a.value(), norm_axis, window),
+                    /*requires_grad=*/false);
+  }
   T::PoolResult pooled = T::MaxPoolAxis(a.value(), norm_axis, window);
   tensor::Shape in_shape = a.shape();
   auto argmax = std::make_shared<std::vector<int64_t>>(std::move(pooled.argmax));
@@ -457,6 +560,62 @@ Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
   return MakeOpResult(T::Mul(a.value(), mask), {a}, [mask](Node* n) {
     Accumulate(n, 0, T::Mul(n->grad, mask));
   });
+}
+
+Variable Add(Variable&& a, const Variable& b) {
+  if (CanMutateInPlace(a)) {
+    if (a.shape() == b.shape()) {
+      T::AddInPlace(a.mutable_value(), b.value());
+      return std::move(a);
+    }
+    // Broadcast add (e.g. embeddings onto activations) when the result
+    // shape is a's shape.
+    if (T::BroadcastShape(a.shape(), b.shape()) == a.shape()) {
+      T::AddBroadcastInPlace(a.mutable_value(), b.value());
+      return std::move(a);
+    }
+  }
+  return Add(static_cast<const Variable&>(a), b);
+}
+
+Variable AddScalar(Variable&& a, float s) {
+  if (CanMutateInPlace(a)) {
+    T::AddScalarInPlace(a.mutable_value(), s);
+    return std::move(a);
+  }
+  return AddScalar(static_cast<const Variable&>(a), s);
+}
+
+Variable MulScalar(Variable&& a, float s) {
+  if (CanMutateInPlace(a)) {
+    T::ScaleInPlace(a.mutable_value(), s);
+    return std::move(a);
+  }
+  return MulScalar(static_cast<const Variable&>(a), s);
+}
+
+Variable Relu(Variable&& a) {
+  if (CanMutateInPlace(a)) {
+    T::ReluInPlace(a.mutable_value());
+    return std::move(a);
+  }
+  return Relu(static_cast<const Variable&>(a));
+}
+
+Variable Sigmoid(Variable&& a) {
+  if (CanMutateInPlace(a)) {
+    T::SigmoidInPlace(a.mutable_value()->data(), a.numel());
+    return std::move(a);
+  }
+  return Sigmoid(static_cast<const Variable&>(a));
+}
+
+Variable Tanh(Variable&& a) {
+  if (CanMutateInPlace(a)) {
+    T::TanhInPlace(a.mutable_value()->data(), a.numel());
+    return std::move(a);
+  }
+  return Tanh(static_cast<const Variable&>(a));
 }
 
 Variable MaeLoss(const Variable& pred, const Variable& target) {

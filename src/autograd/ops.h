@@ -20,10 +20,18 @@
 
 namespace dyhsl::autograd {
 
+// In-place note: the Variable&& overloads below may, in inference mode
+// only, reuse the consumed operand's storage for the result (when the
+// operand is a sole-owner tape-less leaf). Outside inference mode they
+// forward to the const& versions, so values are identical either way —
+// in-place execution never changes a single bit, only where it lands.
+
 /// \name Elementwise binary (numpy broadcasting; gradients are reduced back
 /// to each operand's shape)
 /// @{
 Variable Add(const Variable& a, const Variable& b);
+/// May add b into a's storage in place (same shapes, inference mode).
+Variable Add(Variable&& a, const Variable& b);
 Variable Sub(const Variable& a, const Variable& b);
 Variable Mul(const Variable& a, const Variable& b);
 Variable Div(const Variable& a, const Variable& b);
@@ -34,12 +42,17 @@ Variable Maximum(const Variable& a, const Variable& b);
 /// \name Scalar / unary
 /// @{
 Variable AddScalar(const Variable& a, float s);
+Variable AddScalar(Variable&& a, float s);
 Variable MulScalar(const Variable& a, float s);
+Variable MulScalar(Variable&& a, float s);
 Variable Neg(const Variable& a);
 Variable Relu(const Variable& a);
+Variable Relu(Variable&& a);
 Variable LeakyRelu(const Variable& a, float slope = 0.2f);
 Variable Sigmoid(const Variable& a);
+Variable Sigmoid(Variable&& a);
 Variable Tanh(const Variable& a);
+Variable Tanh(Variable&& a);
 Variable Exp(const Variable& a);
 Variable Log(const Variable& a);
 Variable Sqrt(const Variable& a);
@@ -55,6 +68,11 @@ Variable InvSqrt(const Variable& a, float eps = 0.0f);
 /// \brief 2-D matmul with optional transposes.
 Variable MatMul(const Variable& a, const Variable& b, bool trans_a = false,
                 bool trans_b = false);
+
+/// \brief Fused affine map y = x W + b for 2-D x (k, n)-shaped W and
+/// length-n bias: the bias seeds the GEMM output (beta = 1), saving the
+/// separate broadcast-add pass of the MatMul/Add chain.
+Variable Affine(const Variable& x, const Variable& w, const Variable& b);
 
 /// \brief Batched matmul. Either operand may be 2-D, in which case it is
 /// shared across the batch (the flag-driven shared-LHS form `U @ M_b`
@@ -89,6 +107,14 @@ Variable SumAll(const Variable& a);
 /// Mean of all elements -> shape {1}.
 Variable MeanAll(const Variable& a);
 Variable SoftmaxLastAxis(const Variable& a);
+/// Fused layer normalization over the last axis with 1-D gamma/beta of the
+/// row width: one kernel (and one tape node) instead of the
+/// Mean/Sub/Mul/Mean/InvSqrt/Mul/Add chain.
+Variable LayerNormLastAxis(const Variable& x, const Variable& gamma,
+                           const Variable& beta, float eps = 1e-5f);
+/// May normalize x's storage in place (inference mode, sole owner).
+Variable LayerNormLastAxis(Variable&& x, const Variable& gamma,
+                           const Variable& beta, float eps = 1e-5f);
 /// @}
 
 /// \brief Non-overlapping max pool along `axis` (window divides the size).

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/workspace.h"
@@ -67,12 +68,16 @@ void TopoSort(const std::shared_ptr<Node>& root,
 
 void Variable::Backward() const {
   DYHSL_CHECK(defined());
+  DYHSL_CHECK_MSG(!InferenceModeEnabled(),
+                  "Backward() inside InferenceModeGuard: no tape was built");
   DYHSL_CHECK_MSG(numel() == 1, "Backward() without seed requires a scalar");
   Backward(tensor::Tensor::Ones(node_->value.shape()));
 }
 
 void Variable::Backward(const tensor::Tensor& seed) const {
   DYHSL_CHECK(defined());
+  DYHSL_CHECK_MSG(!InferenceModeEnabled(),
+                  "Backward() inside InferenceModeGuard: no tape was built");
   DYHSL_CHECK_MSG(node_->requires_grad,
                   "Backward() on a variable that does not require grad");
   node_->AccumulateGrad(seed);
@@ -100,6 +105,13 @@ Variable Variable::FromNode(std::shared_ptr<Node> node) {
 
 Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> parents,
                       std::function<void(Node*)> backward) {
+  // Grad-free inference: the result is a plain leaf carrying only the
+  // value. No parent edges or backward closure means the input tensors
+  // are released as soon as the caller drops its Variables, instead of
+  // being pinned until the whole tape dies.
+  if (InferenceModeEnabled()) {
+    return Variable(std::move(value), /*requires_grad=*/false);
+  }
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   bool needs_grad = false;

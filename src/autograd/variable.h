@@ -67,6 +67,11 @@ class Variable {
 
   std::shared_ptr<Node> node() const { return node_; }
 
+  /// \brief True if this Variable holds the only reference to its node —
+  /// together with Tensor::UniqueStorage the precondition for the
+  /// inference-mode in-place op overloads.
+  bool SoleOwner() const { return node_ != nullptr && node_.use_count() == 1; }
+
   /// \brief Constructs a Variable from an existing node (op internals).
   static Variable FromNode(std::shared_ptr<Node> node);
 

@@ -1,9 +1,12 @@
 #include "src/models/blocks.h"
 
 #include <cmath>
+#include <utility>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/nn/init.h"
+#include "src/tensor/vecmath.h"
 
 namespace dyhsl::models {
 
@@ -48,14 +51,16 @@ Variable PriorGraphEncoder::Forward(const Variable& x) const {
                                   {1, 1, num_nodes_, hidden_dim_});
   Variable step_emb = ag::Reshape(step_embedding_.Forward(step_ids),
                                   {1, history_, 1, hidden_dim_});
-  h = ag::Add(ag::Add(h, node_emb), step_emb);
+  // h is consumed so inference mode can add both embeddings in place.
+  h = ag::Add(ag::Add(std::move(h), node_emb), step_emb);
   // Time-major stacking (row t*N + i) to match the temporal graph indexing.
   h = ag::Reshape(h, {batch, history_ * num_nodes_, hidden_dim_});
   for (const auto& proj : conv_) {
     // Eq. 5: h_l = φ(Ā h_{l-1} W); residual keeps deep stacks (Lp = 6 in
-    // the paper) from oversmoothing.
+    // the paper) from oversmoothing. conv is moved first so inference
+    // mode can accumulate the residual in place (x + y == y + x).
     Variable conv = ag::Relu(proj->Forward(ag::SpMM(temporal_op_, h)));
-    h = residual_ ? ag::Add(h, conv) : conv;
+    h = residual_ ? ag::Add(std::move(conv), h) : conv;
   }
   return h;
 }
@@ -136,9 +141,19 @@ Variable IgcBlock::Forward(const std::shared_ptr<tensor::SparseOp>& adj,
                            const Variable& h) const {
   // Both sums in Eq. 11 share the same neighborhood aggregation Ā h.
   Variable m = ag::SpMM(adj, h);
-  Variable interaction =
-      ag::Tanh(ag::Mul(w1_.Forward(m), w2_.Forward(m)));  // Eq. 11
-  return ag::Add(interaction, ag::Relu(w3_.Forward(m)));  // Eq. 12
+  if (ag::InferenceModeEnabled()) {
+    // One fused pass for tanh(W1 m ⊙ W2 m) + φ(W3 m): elementwise
+    // identical to the taped chain below, without its intermediates.
+    Variable a = w1_.Forward(m), b = w2_.Forward(m), c = w3_.Forward(m);
+    T::Tensor out(a.value().shape());
+    T::TanhProductPlusReluArray(a.value().data(), b.value().data(),
+                                c.value().data(), out.data(), out.numel());
+    return Variable(std::move(out));
+  }
+  // Written as one expression of temporaries so grad-free callers that
+  // land here still hit the in-place overloads.
+  return ag::Add(ag::Tanh(ag::Mul(w1_.Forward(m), w2_.Forward(m))),  // Eq. 11
+                 ag::Relu(w3_.Forward(m)));                          // Eq. 12
 }
 
 }  // namespace dyhsl::models

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/graph/temporal_graph.h"
 #include "src/tensor/ops.h"
@@ -79,8 +80,9 @@ ag::Variable DyHsl::RunScale(const ag::Variable& h_full, int64_t eps,
       mixed = dhsl_.Forward(delta);  // Table VI "w/o IGC" ablation
     }
     // Normalization and dropout keep iterated block outputs well-scaled
-    // (implementation detail; see DESIGN.md).
-    delta = iter_norm_.Forward(mixed);
+    // (implementation detail; see DESIGN.md). mixed is consumed so the
+    // inference path normalizes in place.
+    delta = iter_norm_.Forward(std::move(mixed));
     delta = ag::Dropout(delta, config_.dropout, training, dropout_rng);
   }
   // Mean-pool the sequence dimension -> γ^ε (B, N, d).
@@ -120,6 +122,8 @@ ag::Variable DyHsl::Forward(const tensor::Tensor& x, bool training) {
 }
 
 tensor::Tensor DyHsl::IncidenceFor(const tensor::Tensor& x) {
+  // Analysis-only read of Λ — never differentiated, so skip the tape.
+  ag::InferenceModeGuard no_grad;
   ag::Variable input(x);
   ag::Variable h = encoder_.Forward(input);
   return dhsl_.Incidence(h).value();

@@ -1,6 +1,7 @@
 #include "src/nn/layers.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/core/check.h"
 #include "src/nn/init.h"
@@ -24,8 +25,8 @@ Variable Linear::Forward(const Variable& x) const {
   tensor::Shape out_shape = x.shape();
   out_shape.back() = out_features_;
   Variable x2 = x.dim() == 2 ? x : ag::Reshape(x, {-1, in_features_});
-  Variable y = ag::MatMul(x2, weight_);
-  if (bias_.defined()) y = ag::Add(y, bias_);
+  Variable y = bias_.defined() ? ag::Affine(x2, weight_, bias_)
+                               : ag::MatMul(x2, weight_);
   if (x.dim() != 2) y = ag::Reshape(y, std::move(out_shape));
   return y;
 }
@@ -45,13 +46,13 @@ LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
 }
 
 Variable LayerNorm::Forward(const Variable& x) const {
-  Variable mu = ag::Mean(x, -1, /*keepdims=*/true);
-  Variable centered = ag::Sub(x, mu);
-  Variable var = ag::Mean(ag::Mul(centered, centered), -1, /*keepdims=*/true);
-  // Fused 1/sqrt(var + eps): one tape node instead of AddScalar/Sqrt/Div.
-  Variable inv_std = ag::InvSqrt(var, eps_);
-  Variable normed = ag::Mul(centered, inv_std);
-  return ag::Add(ag::Mul(normed, gamma_), beta_);
+  // Fully fused kernel: one pass per row (see tensor::LayerNormLastAxisInto)
+  // and a single tape node with the analytic VJP.
+  return ag::LayerNormLastAxis(x, gamma_, beta_, eps_);
+}
+
+Variable LayerNorm::Forward(Variable&& x) const {
+  return ag::LayerNormLastAxis(std::move(x), gamma_, beta_, eps_);
 }
 
 GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)

@@ -54,6 +54,8 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
   Variable Forward(const Variable& x) const;
+  /// Consuming form: may normalize x in place (inference mode).
+  Variable Forward(Variable&& x) const;
 
  private:
   float eps_;

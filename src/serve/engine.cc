@@ -1,0 +1,205 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/autograd/inference.h"
+#include "src/core/check.h"
+#include "src/tensor/workspace.h"
+#include "src/train/checkpoint.h"
+
+namespace dyhsl::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - start).count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
+    const train::ForecastTask& task, const models::DyHslConfig& config,
+    const std::string& checkpoint_path, const EngineOptions& options) {
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("EngineOptions.max_batch must be >= 1");
+  }
+  if (options.max_delay_us < 0) {
+    return Status::InvalidArgument("EngineOptions.max_delay_us must be >= 0");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("EngineOptions.num_workers must be >= 1");
+  }
+  // The constructor builds the model, which pre-computes the normalized
+  // temporal operator of every pooling scale — the expensive part of
+  // bring-up, paid exactly once.
+  std::unique_ptr<ForecastEngine> engine(
+      new ForecastEngine(task, config, options));
+  if (!checkpoint_path.empty()) {
+    DYHSL_RETURN_NOT_OK(
+        train::LoadCheckpoint(engine->model_.get(), checkpoint_path));
+  }
+  for (int64_t w = 0; w < options.num_workers; ++w) {
+    engine->workers_.emplace_back([raw = engine.get()] { raw->WorkerLoop(); });
+  }
+  return engine;
+}
+
+ForecastEngine::ForecastEngine(const train::ForecastTask& task,
+                               const models::DyHslConfig& config,
+                               const EngineOptions& options)
+    : task_(task),
+      options_(options),
+      model_(std::make_unique<models::DyHsl>(task, config)) {}
+
+ForecastEngine::~ForecastEngine() { Shutdown(); }
+
+void ForecastEngine::Shutdown() {
+  // Claim the worker set under the lock so concurrent Shutdown calls
+  // (or Shutdown racing the destructor) cannot double-join a thread.
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    claimed.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& worker : claimed) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::future<ForecastResponse> ForecastEngine::Submit(ForecastRequest request) {
+  std::promise<ForecastResponse> promise;
+  std::future<ForecastResponse> future = promise.get_future();
+  const tensor::Shape expected = {task_.history, task_.num_nodes,
+                                  task_.input_dim};
+  if (!request.window.defined() || request.window.shape() != expected) {
+    ForecastResponse response;
+    response.status = Status::InvalidArgument(
+        "request window shape " +
+        (request.window.defined() ? tensor::ShapeToString(request.window.shape())
+                                  : std::string("<undefined>")) +
+        " != expected " + tensor::ShapeToString(expected));
+    promise.set_value(std::move(response));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ForecastResponse response;
+      response.status =
+          Status::InvalidArgument("ForecastEngine is shut down");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    Pending pending;
+    pending.window = std::move(request.window);
+    pending.promise = std::move(promise);
+    pending.enqueued = Clock::now();
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+EngineStats ForecastEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ForecastEngine::WorkerLoop() {
+  // The warm per-worker arena: after the first few batches every forward
+  // runs allocation-free out of recycled slabs.
+  tensor::Workspace workspace;
+  const auto max_delay = std::chrono::microseconds(options_.max_delay_us);
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Micro-batching: hold the flush until the batch is full or the
+      // oldest request has aged past max_delay_us. Shutdown flushes
+      // immediately.
+      const Clock::time_point deadline = queue_.front().enqueued + max_delay;
+      while (!stopping_ && !queue_.empty() &&
+             static_cast<int64_t>(queue_.size()) < options_.max_batch) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      // Another worker may have drained the queue while this one waited
+      // (wait_until releases the lock) — go back to sleep, don't flush
+      // an empty batch.
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      int64_t take = std::min<int64_t>(options_.max_batch,
+                                       static_cast<int64_t>(queue_.size()));
+      batch.reserve(take);
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.batches += 1;
+      stats_.requests += take;
+      stats_.max_batch_observed = std::max(stats_.max_batch_observed, take);
+    }
+    // More requests may still be waiting (queue longer than max_batch);
+    // wake another worker — or ourselves on the next loop iteration.
+    cv_.notify_one();
+    {
+      tensor::WorkspaceScope scope(&workspace);
+      ServeBatch(&batch);
+    }
+    workspace.Reset();
+  }
+}
+
+void ForecastEngine::ServeBatch(std::vector<Pending>* batch) {
+  const int64_t b = static_cast<int64_t>(batch->size());
+  const int64_t t = task_.history;
+  const int64_t n = task_.num_nodes;
+  const int64_t f = task_.input_dim;
+  const Clock::time_point started = Clock::now();
+
+  autograd::InferenceModeGuard no_grad;
+  // Pack the windows into one (B, T, N, F) forward. The pack buffer is
+  // arena-backed and recycled by the worker's Reset().
+  tensor::Tensor x({b, t, n, f});
+  const int64_t window_numel = t * n * f;
+  for (int64_t i = 0; i < b; ++i) {
+    std::memcpy(x.data() + i * window_numel, (*batch)[i].window.data(),
+                static_cast<size_t>(window_numel) * sizeof(float));
+  }
+  autograd::Variable pred = model_->Forward(x, /*training=*/false);
+  const tensor::Tensor& p = pred.value();  // (B, T', N)
+  DYHSL_CHECK_EQ(p.size(0), b);
+  const int64_t out_numel = p.numel() / b;
+  const Clock::time_point finished = Clock::now();
+  const double compute_micros = MicrosSince(started, finished);
+
+  for (int64_t i = 0; i < b; ++i) {
+    ForecastResponse response;
+    {
+      // Responses outlive this step: keep them off the arena so they
+      // cannot pin a worker slab.
+      tensor::WorkspaceBypass bypass;
+      response.forecast = tensor::Tensor({p.size(1), p.size(2)});
+    }
+    std::memcpy(response.forecast.data(), p.data() + i * out_numel,
+                static_cast<size_t>(out_numel) * sizeof(float));
+    response.batch_size = b;
+    response.queue_micros = MicrosSince((*batch)[i].enqueued, started);
+    response.compute_micros = compute_micros;
+    (*batch)[i].promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace dyhsl::serve

@@ -1,0 +1,140 @@
+// Batched forecast-serving engine.
+//
+// ForecastEngine is the query-time counterpart of the training harness:
+// it builds one DyHSL model (whose constructor pre-computes and caches
+// the normalized temporal operator of every pooling scale), loads a
+// checkpoint once, keeps the ForecastTask scaler for de-normalization,
+// and serves Submit() requests from a micro-batching queue. Worker
+// threads collect concurrent requests and flush them as one (B, T, N, F)
+// grad-free forward — tape-less (autograd::InferenceModeGuard) and
+// allocated from a warm per-worker Workspace arena — when either
+// `max_batch` requests are waiting or the oldest has waited
+// `max_delay_us` microseconds.
+//
+// Model forwards are read-only in inference mode, so any number of
+// workers may share the one model; every per-request quantity lives in
+// the request/response structs. Responses are heap-backed (never
+// arena-backed) so they stay valid for as long as the caller keeps them.
+
+#ifndef DYHSL_SERVE_ENGINE_H_
+#define DYHSL_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/models/dyhsl.h"
+#include "src/tensor/tensor.h"
+#include "src/train/forecast_model.h"
+
+namespace dyhsl::serve {
+
+/// \brief One forecast query: a single scaled input window (T, N, F) in
+/// the feature layout produced by TrafficDataset::MakeInput.
+struct ForecastRequest {
+  tensor::Tensor window;
+};
+
+/// \brief The served forecast plus per-request telemetry. `status` is
+/// checked first: on failure `forecast` is undefined.
+struct ForecastResponse {
+  Status status;
+  /// Raw-flow forecast (T', N).
+  tensor::Tensor forecast;
+  /// Size of the micro-batch this request was served in.
+  int64_t batch_size = 0;
+  /// Time spent waiting in the queue before the flush started.
+  double queue_micros = 0.0;
+  /// Wall time of the batched forward that served the request.
+  double compute_micros = 0.0;
+};
+
+/// \brief Micro-batching and threading knobs.
+struct EngineOptions {
+  /// Flush the queue once this many requests are waiting.
+  int64_t max_batch = 16;
+  /// ... or once the oldest waiting request is this old (microseconds).
+  int64_t max_delay_us = 1000;
+  /// Worker threads, each with its own warm Workspace arena.
+  int64_t num_workers = 1;
+};
+
+/// \brief Aggregate serving counters (monotonic since engine start).
+struct EngineStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t max_batch_observed = 0;
+};
+
+/// \brief Loads a model + checkpoint once and serves batched grad-free
+/// forecasts. Thread-safe: Submit may be called from any thread.
+class ForecastEngine {
+ public:
+  /// \brief Builds the DyHSL model for `task` / `config` and, when
+  /// `checkpoint_path` is non-empty, restores its parameters from disk.
+  /// Fails (rather than aborts) on unreadable or mismatched checkpoints.
+  static Result<std::unique_ptr<ForecastEngine>> Create(
+      const train::ForecastTask& task, const models::DyHslConfig& config,
+      const std::string& checkpoint_path = "",
+      const EngineOptions& options = EngineOptions());
+
+  /// Drains the queue and joins the workers.
+  ~ForecastEngine();
+
+  ForecastEngine(const ForecastEngine&) = delete;
+  ForecastEngine& operator=(const ForecastEngine&) = delete;
+
+  /// \brief Enqueues one window for the next micro-batch. The future is
+  /// always fulfilled — with a failed Status for malformed requests or
+  /// an engine shutting down, never with a broken promise.
+  std::future<ForecastResponse> Submit(ForecastRequest request);
+
+  /// \brief Stops accepting new requests, serves everything already
+  /// queued, and joins the worker threads. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  const train::ForecastTask& task() const { return task_; }
+  const models::DyHsl& model() const { return *model_; }
+  /// Non-const access for analysis paths (Forward/IncidenceFor are
+  /// non-const overrides); do not mutate parameters while serving.
+  models::DyHsl* mutable_model() { return model_.get(); }
+  const EngineOptions& options() const { return options_; }
+  EngineStats stats() const;
+
+ private:
+  struct Pending {
+    tensor::Tensor window;
+    std::promise<ForecastResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  ForecastEngine(const train::ForecastTask& task,
+                 const models::DyHslConfig& config,
+                 const EngineOptions& options);
+
+  void WorkerLoop();
+  /// Runs one packed grad-free forward and fulfills every promise.
+  void ServeBatch(std::vector<Pending>* batch);
+
+  train::ForecastTask task_;
+  EngineOptions options_;
+  std::unique_ptr<models::DyHsl> model_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  EngineStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dyhsl::serve
+
+#endif  // DYHSL_SERVE_ENGINE_H_

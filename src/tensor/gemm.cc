@@ -1,9 +1,15 @@
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/core/check.h"
+#include "src/tensor/workspace.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace dyhsl::tensor {
 namespace {
@@ -23,8 +29,12 @@ constexpr int64_t kParallelCutoff = 1 << 15;
 
 int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
-// Thread-local packing buffers, reused across calls so steady-state GEMMs
-// perform no allocation at all.
+// Fallback packing buffers for threads with no active WorkspaceScope:
+// thread-local vectors, reused across calls so steady-state GEMMs perform
+// no allocation at all. When a scope *is* installed (training steps, eval
+// batches, serve workers), packing memory comes from the step arena
+// instead — see the PackPlan below — so it is recycled with everything
+// else at Reset() and stays cache-warm.
 struct Scratch {
   std::vector<float> a_pack;
   std::vector<float> b_pack;
@@ -34,6 +44,40 @@ Scratch* TlsScratch() {
   static thread_local Scratch scratch;
   return &scratch;
 }
+
+int64_t MaxThreads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int64_t ThreadNum() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+// Packing-buffer layout for one BatchedGemmInto call. With an active
+// Workspace the whole plan is one arena allocation sized for the largest
+// K panel (shared packs first, then one per-OpenMP-thread task region);
+// the handle drops at end of call, which the arena's LIFO reclaim rewinds
+// immediately. Without a workspace, the shared packs fall back to local
+// vectors and task packs to the thread-local Scratch.
+struct PackPlan {
+  std::shared_ptr<float[]> arena;   // single arena block (may be null)
+  float* shared_a = nullptr;
+  float* shared_b = nullptr;
+  float* tasks = nullptr;           // num_threads x task_stride floats
+  int64_t task_a_floats = 0;
+  int64_t task_b_floats = 0;
+  int64_t task_stride = 0;
+  std::vector<float> fallback_a;    // shared packs when no workspace
+  std::vector<float> fallback_b;
+};
 
 // Packs op(A) rows [i0, i0+mb) x panel columns [p0, p0+kb) into kMr-row
 // groups: out[g * kb * kMr + p * kMr + r] = op(A)[i0 + g*kMr + r][p0 + p].
@@ -114,26 +158,101 @@ typedef float VecU
 void MicroKernel(int64_t kb, const float* __restrict__ ap,
                  const float* __restrict__ bp, float* __restrict__ acc) {
   static_assert(kMr == 6, "accumulator rows are unrolled by hand");
+  // Two accumulators per row (even/odd K steps): 12 independent FMA
+  // chains hide the FMA latency that 6 alone cannot (latency 4-5 x
+  // throughput 2 wants ~10 in flight). The per-element reduction order
+  // is fixed (evens in order, odds in order, one final add), so results
+  // stay deterministic and identical across taped/grad-free calls.
   Vec c0 = {0.0f}, c1 = {0.0f}, c2 = {0.0f};
   Vec c3 = {0.0f}, c4 = {0.0f}, c5 = {0.0f};
-  for (int64_t p = 0; p < kb; ++p) {
-    const Vec b = *reinterpret_cast<const VecU*>(bp + p * kNr);
+  Vec d0 = {0.0f}, d1 = {0.0f}, d2 = {0.0f};
+  Vec d3 = {0.0f}, d4 = {0.0f}, d5 = {0.0f};
+  int64_t p = 0;
+  for (; p + 1 < kb; p += 2) {
+    const Vec b0 = *reinterpret_cast<const VecU*>(bp + p * kNr);
     const float* aq = ap + p * kMr;
     // scalar op vector splats the scalar lane-wise (vbroadcastss + FMA).
-    c0 += aq[0] * b;
-    c1 += aq[1] * b;
-    c2 += aq[2] * b;
-    c3 += aq[3] * b;
-    c4 += aq[4] * b;
-    c5 += aq[5] * b;
+    c0 += aq[0] * b0;
+    c1 += aq[1] * b0;
+    c2 += aq[2] * b0;
+    c3 += aq[3] * b0;
+    c4 += aq[4] * b0;
+    c5 += aq[5] * b0;
+    const Vec b1 = *reinterpret_cast<const VecU*>(bp + (p + 1) * kNr);
+    const float* ar = aq + kMr;
+    d0 += ar[0] * b1;
+    d1 += ar[1] * b1;
+    d2 += ar[2] * b1;
+    d3 += ar[3] * b1;
+    d4 += ar[4] * b1;
+    d5 += ar[5] * b1;
+  }
+  if (p < kb) {
+    const Vec b0 = *reinterpret_cast<const VecU*>(bp + p * kNr);
+    const float* aq = ap + p * kMr;
+    c0 += aq[0] * b0;
+    c1 += aq[1] * b0;
+    c2 += aq[2] * b0;
+    c3 += aq[3] * b0;
+    c4 += aq[4] * b0;
+    c5 += aq[5] * b0;
   }
   VecU* out = reinterpret_cast<VecU*>(acc);
-  out[0] = c0;
-  out[1] = c1;
-  out[2] = c2;
-  out[3] = c3;
-  out[4] = c4;
-  out[5] = c5;
+  out[0] = c0 + d0;
+  out[1] = c1 + d1;
+  out[2] = c2 + d2;
+  out[3] = c3 + d3;
+  out[4] = c4 + d4;
+  out[5] = c5 + d5;
+}
+
+// Two adjacent B panels per pass: every A broadcast feeds two FMAs, and
+// the per-call fixed cost (accumulator init, write-back) is amortized
+// over twice the work. acc0/acc1 receive the kMr x kNr tiles of panels
+// j and j+1. Each output element still accumulates sequentially over p,
+// so results are deterministic for a fixed shape.
+void MicroKernel2(int64_t kb, const float* __restrict__ ap,
+                  const float* __restrict__ bp0,
+                  const float* __restrict__ bp1, float* __restrict__ acc0,
+                  float* __restrict__ acc1) {
+  static_assert(kMr == 6, "accumulator rows are unrolled by hand");
+  Vec c0 = {0.0f}, c1 = {0.0f}, c2 = {0.0f};
+  Vec c3 = {0.0f}, c4 = {0.0f}, c5 = {0.0f};
+  Vec d0 = {0.0f}, d1 = {0.0f}, d2 = {0.0f};
+  Vec d3 = {0.0f}, d4 = {0.0f}, d5 = {0.0f};
+  for (int64_t p = 0; p < kb; ++p) {
+    const Vec b0 = *reinterpret_cast<const VecU*>(bp0 + p * kNr);
+    const Vec b1 = *reinterpret_cast<const VecU*>(bp1 + p * kNr);
+    const float* aq = ap + p * kMr;
+    const float a0 = aq[0], a1 = aq[1], a2 = aq[2];
+    const float a3 = aq[3], a4 = aq[4], a5 = aq[5];
+    c0 += a0 * b0;
+    d0 += a0 * b1;
+    c1 += a1 * b0;
+    d1 += a1 * b1;
+    c2 += a2 * b0;
+    d2 += a2 * b1;
+    c3 += a3 * b0;
+    d3 += a3 * b1;
+    c4 += a4 * b0;
+    d4 += a4 * b1;
+    c5 += a5 * b0;
+    d5 += a5 * b1;
+  }
+  VecU* out0 = reinterpret_cast<VecU*>(acc0);
+  out0[0] = c0;
+  out0[1] = c1;
+  out0[2] = c2;
+  out0[3] = c3;
+  out0[4] = c4;
+  out0[5] = c5;
+  VecU* out1 = reinterpret_cast<VecU*>(acc1);
+  out1[0] = d0;
+  out1[1] = d1;
+  out1[2] = d2;
+  out1[3] = d3;
+  out1[4] = d4;
+  out1[5] = d5;
 }
 
 #else  // portable scalar fallback
@@ -150,6 +269,14 @@ void MicroKernel(int64_t kb, const float* __restrict__ ap,
       for (int64_t j = 0; j < kNr; ++j) arow[j] += av * bq[j];
     }
   }
+}
+
+void MicroKernel2(int64_t kb, const float* __restrict__ ap,
+                  const float* __restrict__ bp0,
+                  const float* __restrict__ bp1, float* __restrict__ acc0,
+                  float* __restrict__ acc1) {
+  MicroKernel(kb, ap, bp0, acc0);
+  MicroKernel(kb, ap, bp1, acc1);
 }
 
 #endif
@@ -171,20 +298,34 @@ void WriteTile(const float* acc, float* c, int64_t ldc, int64_t mr,
 }
 
 // C block rows [i0, i0+mb): all panels of one packed A block against the
-// packed B panels of the current K panel.
+// packed B panels of the current K panel. Panels are consumed in pairs
+// (MicroKernel2 shares every A broadcast across two panels); a lone
+// trailing panel falls back to the single-panel kernel.
 void ComputeBlock(const float* a_pack, const float* b_pack, int64_t mb,
                   int64_t n, int64_t kb, float* c, int64_t ldc, float beta) {
   int64_t panels = CeilDiv(n, kNr);
   int64_t groups = CeilDiv(mb, kMr);
-  for (int64_t jp = 0; jp < panels; ++jp) {
-    const float* bp = b_pack + jp * kb * kNr;
+  for (int64_t jp = 0; jp < panels; jp += 2) {
+    const bool pair = jp + 1 < panels;
+    const float* bp0 = b_pack + jp * kb * kNr;
     int64_t j0 = jp * kNr;
-    int64_t nr = std::min<int64_t>(kNr, n - j0);
+    int64_t nr0 = std::min<int64_t>(kNr, n - j0);
+    int64_t nr1 = pair ? std::min<int64_t>(kNr, n - (j0 + kNr)) : 0;
     for (int64_t g = 0; g < groups; ++g) {
-      float acc[kMr * kNr];  // fully written by MicroKernel
-      MicroKernel(kb, a_pack + g * kb * kMr, bp, acc);
-      WriteTile(acc, c + g * kMr * ldc + j0, ldc,
-                std::min<int64_t>(kMr, mb - g * kMr), nr, beta);
+      const float* ap = a_pack + g * kb * kMr;
+      int64_t mr = std::min<int64_t>(kMr, mb - g * kMr);
+      float* crow = c + g * kMr * ldc + j0;
+      if (pair) {
+        float acc0[kMr * kNr];  // fully written by MicroKernel2
+        float acc1[kMr * kNr];
+        MicroKernel2(kb, ap, bp0, bp0 + kb * kNr, acc0, acc1);
+        WriteTile(acc0, crow, ldc, mr, nr0, beta);
+        WriteTile(acc1, crow + kNr, ldc, mr, nr1, beta);
+      } else {
+        float acc[kMr * kNr];  // fully written by MicroKernel
+        MicroKernel(kb, ap, bp0, acc);
+        WriteTile(acc, crow, ldc, mr, nr0, beta);
+      }
     }
   }
 }
@@ -221,25 +362,46 @@ void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
   const int64_t ic_blocks = CeilDiv(m, kMc);
   const int64_t panels = CeilDiv(n, kNr);
 
-  // Shared operands are packed once per K panel and reused by every
-  // (batch, row-block) task; per-batch operands are packed into
-  // thread-local scratch inside the task.
-  std::vector<float> shared_a_pack;
-  std::vector<float> shared_b_pack;
+  // Packing buffers, sized for the largest K panel. ROADMAP item (d):
+  // with an active WorkspaceScope the plan is one step-arena allocation,
+  // released (and LIFO-rewound) when this call returns; otherwise shared
+  // packs use local vectors and task packs the thread-local Scratch.
+  const int64_t kb_max = std::min<int64_t>(kKc, k);
+  const int64_t shared_a_floats = shared_a ? CeilDiv(m, kMr) * kb_max * kMr : 0;
+  const int64_t shared_b_floats = shared_b ? panels * kb_max * kNr : 0;
+  PackPlan plan;
+  plan.task_a_floats =
+      shared_a ? 0 : CeilDiv(std::min<int64_t>(kMc, m), kMr) * kb_max * kMr;
+  plan.task_b_floats = shared_b ? 0 : panels * kb_max * kNr;
+  plan.task_stride = plan.task_a_floats + plan.task_b_floats;
+  if (Workspace* workspace = Workspace::Current()) {
+    const int64_t threads = MaxThreads();
+    plan.arena = workspace->Allocate(shared_a_floats + shared_b_floats +
+                                     plan.task_stride * threads);
+    float* cursor = plan.arena.get();
+    plan.shared_a = shared_a ? cursor : nullptr;
+    cursor += shared_a_floats;
+    plan.shared_b = shared_b ? cursor : nullptr;
+    cursor += shared_b_floats;
+    plan.tasks = cursor;
+  } else {
+    plan.fallback_a.resize(shared_a_floats);
+    plan.fallback_b.resize(shared_b_floats);
+    plan.shared_a = shared_a ? plan.fallback_a.data() : nullptr;
+    plan.shared_b = shared_b ? plan.fallback_b.data() : nullptr;
+  }
 
   for (int64_t p0 = 0; p0 < k; p0 += kKc) {
     const int64_t kb = std::min<int64_t>(kKc, k - p0);
     // The first K panel applies the caller's beta; later panels accumulate.
     const float eff_beta = p0 == 0 ? beta : 1.0f;
     if (shared_b) {
-      shared_b_pack.resize(panels * kb * kNr);
-      PackB(b, ldb, trans_b, p0, kb, n, shared_b_pack.data());
+      PackB(b, ldb, trans_b, p0, kb, n, plan.shared_b);
     }
     if (shared_a) {
       // kMc is a multiple of kMr, so row-block g starts at packed group
       // i0 / kMr and per-block consumption aligns with one whole-M pack.
-      shared_a_pack.resize(CeilDiv(m, kMr) * kb * kMr);
-      PackA(a, lda, trans_a, 0, m, p0, kb, shared_a_pack.data());
+      PackA(a, lda, trans_a, 0, m, p0, kb, plan.shared_a);
     }
 
     const int64_t tasks = batch * ic_blocks;
@@ -252,25 +414,37 @@ void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
       const int64_t ic = t % ic_blocks;
       const int64_t i0 = ic * kMc;
       const int64_t mb = std::min<int64_t>(kMc, m - i0);
-      Scratch* scratch = TlsScratch();
+      float* task_a = nullptr;
+      float* task_b = nullptr;
+      if (plan.arena != nullptr) {
+        float* mine = plan.tasks + ThreadNum() * plan.task_stride;
+        task_a = shared_a ? nullptr : mine;
+        task_b = shared_b ? nullptr : mine + plan.task_a_floats;
+      } else {
+        Scratch* scratch = TlsScratch();
+        if (!shared_a) {
+          scratch->a_pack.resize(plan.task_a_floats);
+          task_a = scratch->a_pack.data();
+        }
+        if (!shared_b) {
+          scratch->b_pack.resize(plan.task_b_floats);
+          task_b = scratch->b_pack.data();
+        }
+      }
 
       const float* b_pack;
       if (shared_b) {
-        b_pack = shared_b_pack.data();
+        b_pack = plan.shared_b;
       } else {
-        scratch->b_pack.resize(panels * kb * kNr);
-        PackB(b + bi * b_stride, ldb, trans_b, p0, kb, n,
-              scratch->b_pack.data());
-        b_pack = scratch->b_pack.data();
+        PackB(b + bi * b_stride, ldb, trans_b, p0, kb, n, task_b);
+        b_pack = task_b;
       }
       const float* a_pack;
       if (shared_a) {
-        a_pack = shared_a_pack.data() + (i0 / kMr) * kb * kMr;
+        a_pack = plan.shared_a + (i0 / kMr) * kb * kMr;
       } else {
-        scratch->a_pack.resize(CeilDiv(mb, kMr) * kb * kMr);
-        PackA(a + bi * a_stride, lda, trans_a, i0, mb, p0, kb,
-              scratch->a_pack.data());
-        a_pack = scratch->a_pack.data();
+        PackA(a + bi * a_stride, lda, trans_a, i0, mb, p0, kb, task_a);
+        a_pack = task_a;
       }
       ComputeBlock(a_pack, b_pack, mb, n, kb,
                    c + bi * c_stride + i0 * ldc, ldc, eff_beta);

@@ -47,6 +47,16 @@ void AddInPlace(Tensor* dst, const Tensor& src);
 void AxpyInPlace(Tensor* dst, float alpha, const Tensor& src);
 /// dst *= s
 void ScaleInPlace(Tensor* dst, float s);
+
+/// \brief dst += b where b broadcasts to dst's shape (dst's shape is the
+/// broadcast result). Same per-element arithmetic as Add.
+void AddBroadcastInPlace(Tensor* dst, const Tensor& b);
+
+/// \brief dst = max(dst, 0) elementwise.
+void ReluInPlace(Tensor* dst);
+
+/// \brief dst += s elementwise.
+void AddScalarInPlace(Tensor* dst, float s);
 /// @}
 
 /// \name Out-parameter (fused) variants
@@ -138,6 +148,21 @@ void SoftmaxLastAxisInPlace(Tensor* a);
 /// \brief Elementwise 1 / sqrt(a + eps) (fused normalization denominator).
 Tensor Rsqrt(const Tensor& a, float eps = 0.0f);
 
+/// \brief Fused layer normalization over the last axis:
+/// y = (x - mean) / sqrt(var + eps) * gamma + beta, with per-row mean/var
+/// and 1-D gamma/beta of the row width. One pass per row instead of the
+/// six-kernel Mean/Sub/Mul/Mean/Rsqrt/Add chain. When non-null, `xhat`
+/// receives the normalized rows and `inv_std` (one value per row, last
+/// axis 1) the reciprocal standard deviations — the quantities the
+/// backward pass needs.
+void LayerNormLastAxisInto(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, float eps, Tensor* y,
+                           Tensor* xhat = nullptr, Tensor* inv_std = nullptr);
+
+/// \brief Allocating convenience wrapper around LayerNormLastAxisInto.
+Tensor LayerNormLastAxis(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps);
+
 /// \brief Result of a pooling op; `argmax` holds flat input indices per
 /// output element so the backward pass can scatter gradients.
 struct PoolResult {
@@ -148,6 +173,9 @@ struct PoolResult {
 /// \brief Non-overlapping max pooling along `axis` with the given window.
 /// size(axis) must be divisible by `window`.
 PoolResult MaxPoolAxis(const Tensor& a, int64_t axis, int64_t window);
+
+/// \brief MaxPoolAxis without the argmax bookkeeping (grad-free paths).
+Tensor MaxPoolAxisValues(const Tensor& a, int64_t axis, int64_t window);
 
 /// \name 1-D convolution (for TCN / STGCN / GraphWaveNet baselines)
 /// @{

@@ -135,7 +135,7 @@ Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
                       std::to_string(a.cols()) + ", X rows " +
                       std::to_string(xrows));
   Shape out_shape = batched ? Shape{batch, a.rows(), f} : Shape{a.rows(), f};
-  Tensor out = Tensor::Zeros(out_shape);
+  Tensor out(out_shape);
   const int64_t* row_ptr = a.row_ptr().data();
   const int64_t* col_idx = a.col_idx().data();
   const float* vals = a.values().data();
@@ -143,12 +143,25 @@ Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
   float* po = out.data();
   int64_t x_step = xrows * f;
   int64_t o_step = a.rows() * f;
+  // The first nonzero initializes the output row (skipping a separate
+  // zero-fill pass over the whole output); the rest accumulate in CSR
+  // order, so the per-element accumulation sequence is unchanged.
 #pragma omp parallel for collapse(2) if (batch * a.nnz() * f > 16384)
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t r = 0; r < a.rows(); ++r) {
       float* orow = po + b * o_step + r * f;
-      for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-        float v = vals[k];
+      const int64_t k0 = row_ptr[r], k1 = row_ptr[r + 1];
+      if (k0 == k1) {
+        for (int64_t c = 0; c < f; ++c) orow[c] = 0.0f;
+        continue;
+      }
+      {
+        const float v = vals[k0];
+        const float* xrow = px + b * x_step + col_idx[k0] * f;
+        for (int64_t c = 0; c < f; ++c) orow[c] = v * xrow[c];
+      }
+      for (int64_t k = k0 + 1; k < k1; ++k) {
+        const float v = vals[k];
         const float* xrow = px + b * x_step + col_idx[k] * f;
         for (int64_t c = 0; c < f; ++c) orow[c] += v * xrow[c];
       }

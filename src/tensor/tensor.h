@@ -92,6 +92,12 @@ class Tensor {
     return storage_ == other.storage_;
   }
 
+  /// \brief True if no other Tensor (e.g. a Reshape view) references this
+  /// storage — the precondition for safe in-place mutation.
+  bool UniqueStorage() const {
+    return storage_ != nullptr && storage_.use_count() == 1;
+  }
+
   /// \brief All elements as a vector (test convenience).
   std::vector<float> ToVector() const;
 

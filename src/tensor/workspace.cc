@@ -35,11 +35,14 @@ Workspace::~Workspace() = default;
 
 Workspace::Slab* Workspace::SlabWithRoom(int64_t need) {
   for (Slab& slab : slabs_) {
-    if (slab.capacity - slab.offset >= need) return &slab;
+    if (slab.capacity - slab.offset->load(std::memory_order_acquire) >= need) {
+      return &slab;
+    }
   }
   Slab slab;
   slab.capacity = std::max(need, next_slab_floats_);
   slab.data = std::shared_ptr<float[]>(new float[slab.capacity]);
+  slab.offset = std::make_shared<std::atomic<int64_t>>(0);
   slab.live = std::make_shared<std::atomic<int64_t>>(0);
   next_slab_floats_ = std::min(slab.capacity * 2, kMaxSlabFloats);
   slabs_.push_back(std::move(slab));
@@ -50,16 +53,28 @@ std::shared_ptr<float[]> Workspace::Allocate(int64_t numel) {
   DYHSL_CHECK_GE(numel, 0);
   int64_t need = AlignUp(std::max<int64_t>(numel, 1));
   Slab* slab = SlabWithRoom(need);
-  float* p = slab->data.get() + slab->offset;
-  slab->offset += need;
+  int64_t start = slab->offset->load(std::memory_order_acquire);
+  int64_t end = start + need;
+  float* p = slab->data.get() + start;
+  slab->offset->store(end, std::memory_order_release);
   slab->live->fetch_add(1, std::memory_order_relaxed);
   // The deleter owns a reference to the slab storage: the memory outlives
   // both Reset() retirement and the Workspace itself while handles exist.
   std::shared_ptr<float[]> keep_alive = slab->data;
+  std::shared_ptr<std::atomic<int64_t>> offset = slab->offset;
   std::shared_ptr<std::atomic<int64_t>> live = slab->live;
-  return std::shared_ptr<float[]>(p, [keep_alive, live](float*) {
-    live->fetch_sub(1, std::memory_order_acq_rel);
-  });
+  return std::shared_ptr<float[]>(
+      p, [keep_alive, offset, live, start, end](float*) {
+        // LIFO reclaim: if this was still the trailing allocation, rewind
+        // the bump pointer so the region is reused immediately. A failed
+        // exchange (later allocations still live, or a concurrent rewind)
+        // just leaves the region to the next Reset().
+        int64_t expected = end;
+        offset->compare_exchange_strong(expected, start,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+        live->fetch_sub(1, std::memory_order_acq_rel);
+      });
 }
 
 void Workspace::Reset() {
@@ -72,7 +87,7 @@ void Workspace::Reset() {
       retired_.end());
   for (auto it = slabs_.begin(); it != slabs_.end();) {
     if (it->live->load(std::memory_order_acquire) == 0) {
-      it->offset = 0;
+      it->offset->store(0, std::memory_order_release);
       ++it;
     } else {
       retired_.push_back(std::move(*it));

@@ -67,7 +67,13 @@ class Workspace {
   struct Slab {
     std::shared_ptr<float[]> data;
     int64_t capacity = 0;  // floats
-    int64_t offset = 0;    // bump pointer, floats
+    /// Bump pointer (floats). Atomic and shared with handle deleters: a
+    /// handle that is freed while it is still the slab's trailing
+    /// allocation rewinds the pointer (LIFO reclaim), so tape-less
+    /// forwards reuse a small, cache-hot region instead of sweeping the
+    /// arena. Allocation stays single-threaded; the deleter's
+    /// compare-exchange makes cross-thread release safe.
+    std::shared_ptr<std::atomic<int64_t>> offset;
     std::shared_ptr<std::atomic<int64_t>> live;
   };
 

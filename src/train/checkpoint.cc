@@ -4,12 +4,21 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <vector>
 
 namespace dyhsl::train {
 namespace {
 
-constexpr char kMagic[4] = {'D', 'Y', 'H', '1'};
+constexpr char kMagicV1[4] = {'D', 'Y', 'H', '1'};
+constexpr char kMagicV2[4] = {'D', 'Y', 'H', '2'};
+constexpr uint8_t kFormatVersion = 2;
+
+// Field sanity bounds: anything beyond these is a corrupt or hostile
+// file, not a real checkpoint.
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 8;
+constexpr int64_t kMaxDimSize = int64_t{1} << 40;
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -30,7 +39,8 @@ Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
   if (!out.is_open()) {
     return Status::IoError("cannot open for writing: " + path);
   }
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
+  WritePod<uint8_t>(out, kFormatVersion);
   WritePod<uint64_t>(out, named.size());
   for (const auto& [name, param] : named) {
     WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
@@ -54,7 +64,22 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
   }
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in.good()) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    uint8_t version = 0;
+    if (!ReadPod(in, &version)) {
+      return Status::IoError("truncated checkpoint header: " + path);
+    }
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument(
+          "unsupported checkpoint format version " +
+          std::to_string(static_cast<int>(version)) + " in " + path);
+    }
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    // DYH1 files (no version byte) stay readable; anything else is not a
+    // checkpoint at all.
     return Status::InvalidArgument("not a DyHSL checkpoint: " + path);
   }
   uint64_t count = 0;
@@ -71,22 +96,50 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
         std::to_string(named.size()));
   }
 
+  // Stage every record first and commit only after the whole file has
+  // validated: a truncated or corrupt checkpoint must never leave the
+  // module half-overwritten (it may be live in a serving engine).
+  std::vector<std::pair<autograd::Variable*, tensor::Tensor>> staged;
+  staged.reserve(count);
+  std::set<std::string> seen;
   for (uint64_t p = 0; p < count; ++p) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
-      return Status::IoError("corrupt parameter name in " + path);
+    if (!ReadPod(in, &name_len)) {
+      return Status::IoError("truncated parameter record in " + path);
+    }
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      return Status::InvalidArgument(
+          "corrupt parameter name length " + std::to_string(name_len) +
+          " in " + path);
     }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
+    if (!in.good()) {
+      return Status::IoError("truncated parameter name in " + path);
+    }
     uint32_t rank = 0;
-    if (!in.good() || !ReadPod(in, &rank) || rank > 8) {
-      return Status::IoError("corrupt parameter record in " + path);
+    if (!ReadPod(in, &rank)) {
+      return Status::IoError("truncated parameter record in " + path);
+    }
+    if (rank > kMaxRank) {
+      return Status::InvalidArgument("corrupt parameter rank " +
+                                     std::to_string(rank) + " in " + path);
     }
     tensor::Shape shape(rank);
+    int64_t numel = 1;
     for (uint32_t d = 0; d < rank; ++d) {
       if (!ReadPod(in, &shape[d])) {
-        return Status::IoError("corrupt shape in " + path);
+        return Status::IoError("truncated shape in " + path);
       }
+      if (shape[d] <= 0 || shape[d] > kMaxDimSize ||
+          numel > kMaxDimSize / shape[d]) {
+        return Status::InvalidArgument("corrupt shape in " + path);
+      }
+      numel *= shape[d];
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate parameter '" + name +
+                                     "' in " + path);
     }
     auto it = by_name.find(name);
     if (it == by_name.end()) {
@@ -99,12 +152,23 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
           tensor::ShapeToString(shape) + " vs module " +
           tensor::ShapeToString(target->shape()));
     }
-    in.read(reinterpret_cast<char*>(target->mutable_value()->data()),
-            static_cast<std::streamsize>(
-                tensor::NumElements(shape) * sizeof(float)));
-    if (!in.good()) {
+    tensor::Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in.good() || in.gcount() !=
+                          static_cast<std::streamsize>(numel * sizeof(float))) {
       return Status::IoError("truncated data for '" + name + "'");
     }
+    staged.emplace_back(target, std::move(value));
+  }
+  // A well-formed checkpoint ends exactly after the last record.
+  in.peek();
+  if (!in.eof()) {
+    return Status::InvalidArgument("trailing bytes after last parameter in " +
+                                   path);
+  }
+  for (auto& [target, value] : staged) {
+    target->mutable_value()->CopyDataFrom(value);
   }
   return Status::OK();
 }

@@ -2,12 +2,16 @@
 // (by name) so trained forecasters can be shipped and reloaded.
 //
 // Format (binary, little-endian host order):
-//   magic "DYH1"
+//   magic "DYH2" | uint8 version (= 2)
 //   uint64 parameter count P
 //   P x [ uint32 name_len | name bytes | uint32 rank | int64 dims... |
 //         float data... ]
-// Loading matches by name and validates shapes; extra or missing names are
-// reported through Status so architecture drift is caught explicitly.
+// Legacy "DYH1" files (identical layout, no version byte) remain
+// readable. Loading matches by name and validates shapes; extra,
+// missing or duplicate names, truncated records, corrupt length/rank
+// fields and trailing bytes are all reported through Status — and the
+// load is transactional, so a failed load never leaves the module
+// half-overwritten.
 
 #ifndef DYHSL_TRAIN_CHECKPOINT_H_
 #define DYHSL_TRAIN_CHECKPOINT_H_

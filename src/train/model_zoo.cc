@@ -2,6 +2,8 @@
 
 #include <array>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "src/baselines/gnn_models.h"
 #include "src/baselines/seq_models.h"
@@ -9,6 +11,26 @@
 #include "src/models/dyhsl.h"
 
 namespace dyhsl::train {
+
+ForecastTask RingForecastTask(int64_t n, int64_t history, int64_t horizon) {
+  std::vector<tensor::Triplet> edges;
+  edges.reserve(2 * n);
+  for (int64_t i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, 1.0f});
+    edges.push_back({(i + 1) % n, i, 1.0f});
+  }
+  ForecastTask task;
+  task.num_nodes = n;
+  task.input_dim = 3;
+  task.history = history;
+  task.horizon = horizon;
+  task.scaler_mean = 200.0f;
+  task.scaler_std = 80.0f;
+  task.spatial_adj = tensor::CsrMatrix::FromTriplets(n, n, std::move(edges));
+  task.district_labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) task.district_labels[i] = i % 4;
+  return task;
+}
 
 std::vector<std::string> ClassicalModelKeys() {
   return {"HA", "ARIMA", "VAR", "SVR"};

@@ -25,6 +25,13 @@ std::vector<std::string> ClassicalModelKeys();
 /// \brief Table III ordering of the neural models (baselines then DyHSL).
 std::vector<std::string> NeuralModelKeys();
 
+/// \brief Synthetic ForecastTask over a bidirectional ring road of `n`
+/// sensors: a dataset-free task with paper-like scaler statistics, used
+/// by benches, serving tests and demos that need a model-shaped task
+/// without generating traffic data.
+ForecastTask RingForecastTask(int64_t n, int64_t history = 12,
+                              int64_t horizon = 12);
+
 /// \brief Builds a classical model ("HA", "ARIMA", "VAR", "SVR").
 std::unique_ptr<baselines::ClassicalModel> MakeClassicalModel(
     const std::string& key);

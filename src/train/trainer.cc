@@ -3,6 +3,7 @@
 #include <chrono>
 #include <limits>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/core/logging.h"
 #include "src/optim/optimizer.h"
@@ -113,7 +114,9 @@ EvalResult EvaluateModel(ForecastModel* model,
   while (iter.Next(&batch)) {
     if (max_batches > 0 && batches >= max_batches) break;
     {
+      // Grad-free forward: no tape, intermediates recycled immediately.
       tensor::WorkspaceScope scope(&workspace);
+      autograd::InferenceModeGuard no_grad;
       autograd::Variable pred = model->Forward(batch.x, /*training=*/false);
       const tensor::Tensor& p = pred.value();
       overall.Add(p, batch.y);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/autograd/gradcheck.h"
+#include "src/autograd/inference.h"
 #include "src/autograd/ops.h"
 #include "src/autograd/variable.h"
 #include "src/tensor/ops.h"
@@ -492,6 +493,151 @@ TEST(SpMMTest, ForwardMatchesDense) {
   T::Tensor want = T::MatMul(dense, x);
   T::Tensor got = T::SpMM(csr, x);
   EXPECT_TENSOR_NEAR(got, want, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Grad-free inference mode.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceModeTest, OpsProduceTapelessLeaves) {
+  Rng rng(11);
+  Variable w = Param(T::Tensor::Randn({4, 4}, &rng));
+  Variable x(T::Tensor::Randn({4, 4}, &rng));
+  InferenceModeGuard guard;
+  ASSERT_TRUE(InferenceModeEnabled());
+  Variable y = Relu(MatMul(x, w));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.node()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(y.node()->backward));
+}
+
+TEST(InferenceModeTest, GuardNestsAndRestores) {
+  EXPECT_FALSE(InferenceModeEnabled());
+  {
+    InferenceModeGuard outer;
+    EXPECT_TRUE(InferenceModeEnabled());
+    {
+      InferenceModeGuard inner;
+      EXPECT_TRUE(InferenceModeEnabled());
+    }
+    EXPECT_TRUE(InferenceModeEnabled());
+  }
+  EXPECT_FALSE(InferenceModeEnabled());
+}
+
+TEST(InferenceModeTest, ValuesBitIdenticalToTapedOps) {
+  Rng rng(12);
+  Variable w = Param(T::Tensor::Randn({6, 6}, &rng));
+  Variable g = Param(T::Tensor::Ones({6}));
+  Variable b = Param(T::Tensor::Zeros({6}));
+  T::Tensor input = T::Tensor::Randn({5, 6}, &rng);
+  auto chain = [&](const Variable& x) {
+    Variable h = Tanh(MatMul(x, w));
+    h = LayerNormLastAxis(h, g, b, 1e-5f);
+    return Add(Relu(h), Sigmoid(h));
+  };
+  T::Tensor taped = chain(Variable(input)).value();
+  InferenceModeGuard guard;
+  T::Tensor grad_free = chain(Variable(input)).value();
+  EXPECT_TENSOR_EQ(grad_free, taped);
+}
+
+TEST(InferenceModeTest, InPlaceSkippedWhenStorageShared) {
+  // A Reshape view shares storage with its source; consuming the view
+  // with an rvalue op must not clobber the source.
+  T::Tensor base = T::Tensor::Full({2, 3}, 2.0f);
+  InferenceModeGuard guard;
+  Variable x(base);
+  Variable view = Reshape(x, {6});
+  Variable y = Tanh(std::move(view));
+  for (int64_t i = 0; i < base.numel(); ++i) {
+    EXPECT_FLOAT_EQ(base.data()[i], 2.0f);
+  }
+  EXPECT_FLOAT_EQ(y.value().data()[0], std::tanh(2.0f));
+}
+
+TEST(InferenceModeDeathTest, BackwardUnderGuardAborts) {
+  Variable x = Param(T::Tensor::Scalar(2.0f));
+  Variable y = MulScalar(x, 3.0f);  // taped before the guard
+  EXPECT_DEATH(
+      {
+        InferenceModeGuard guard;
+        y.Backward();
+      },
+      "InferenceModeGuard");
+}
+
+TEST_F(OpGradCheck, LayerNormLastAxis) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(LayerNormLastAxis(in[0], in[1], in[2], 1e-3f));
+        },
+        {Param(T::Tensor::Randn({3, 5}, &rng_)),
+         Param(T::Tensor::Uniform({5}, &rng_, 0.5f, 1.5f)),
+         Param(T::Tensor::Randn({5}, &rng_, 0.2f))});
+}
+
+TEST_F(OpGradCheck, LayerNormLastAxisBatched3D) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(LayerNormLastAxis(in[0], in[1], in[2], 1e-3f));
+        },
+        {Param(T::Tensor::Randn({2, 3, 4}, &rng_)),
+         Param(T::Tensor::Uniform({4}, &rng_, 0.5f, 1.5f)),
+         Param(T::Tensor::Randn({4}, &rng_, 0.2f))});
+}
+
+TEST_F(OpGradCheck, AffineFusedBias) {
+  Check([](const std::vector<Variable>& in) {
+          return ToScalar(Affine(in[0], in[1], in[2]));
+        },
+        {Param(T::Tensor::Randn({4, 3}, &rng_)),
+         Param(T::Tensor::Randn({3, 5}, &rng_)),
+         Param(T::Tensor::Randn({5}, &rng_))});
+}
+
+TEST(AffineTest, MatchesMatMulPlusBias) {
+  Rng rng(13);
+  T::Tensor x = T::Tensor::Randn({7, 4}, &rng);
+  T::Tensor w = T::Tensor::Randn({4, 6}, &rng);
+  T::Tensor b = T::Tensor::Randn({6}, &rng);
+  T::Tensor fused = Affine(Variable(x), Variable(w), Variable(b)).value();
+  T::Tensor chain =
+      Add(MatMul(Variable(x), Variable(w)), Variable(b)).value();
+  EXPECT_TENSOR_EQ(fused, chain);
+}
+
+TEST(AffineTest, MultiPanelKStaysNumericallyClose) {
+  // k = 300 spans two GEMM K panels (kKc = 240): the bias then seeds the
+  // first panel instead of being added last, so bit-equality with the
+  // MatMul+Add chain is no longer guaranteed — but the result must stay
+  // within rounding noise, and taped vs grad-free Affine (same kernel)
+  // must still agree exactly.
+  Rng rng(14);
+  T::Tensor x = T::Tensor::Randn({5, 300}, &rng, 0.1f);
+  T::Tensor w = T::Tensor::Randn({300, 6}, &rng, 0.1f);
+  T::Tensor b = T::Tensor::Randn({6}, &rng);
+  T::Tensor fused = Affine(Variable(x), Variable(w), Variable(b)).value();
+  T::Tensor chain =
+      Add(MatMul(Variable(x), Variable(w)), Variable(b)).value();
+  EXPECT_TENSOR_NEAR(fused, chain, 1e-4f);
+  InferenceModeGuard guard;
+  T::Tensor grad_free =
+      Affine(Variable(x), Variable(w), Variable(b)).value();
+  EXPECT_TENSOR_EQ(grad_free, fused);
+}
+
+TEST(LayerNormOpTest, MatchesUnfusedChain) {
+  Rng rng(14);
+  Variable x(T::Tensor::Randn({4, 8}, &rng));
+  Variable g(T::Tensor::Uniform({8}, &rng, 0.5f, 1.5f));
+  Variable b(T::Tensor::Randn({8}, &rng, 0.3f));
+  T::Tensor fused = LayerNormLastAxis(x, g, b, 1e-5f).value();
+  // The pre-fusion composition.
+  Variable mu = Mean(x, -1, /*keepdims=*/true);
+  Variable centered = Sub(x, mu);
+  Variable var = Mean(Mul(centered, centered), -1, /*keepdims=*/true);
+  Variable normed = Mul(centered, InvSqrt(var, 1e-5f));
+  T::Tensor chain = Add(Mul(normed, g), b).value();
+  EXPECT_TENSOR_NEAR(fused, chain, 1e-6f);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/autograd/inference.h"
 #include "src/autograd/ops.h"
 #include "src/baselines/classical.h"
 #include "src/data/dataset.h"
@@ -93,6 +94,17 @@ TEST_P(NeuralZooTest, DeterministicEvalForward) {
   T::Tensor y1 = model->Forward(x, false).value();
   T::Tensor y2 = model->Forward(x, false).value();
   EXPECT_TRUE(dyhsl::testing::TensorEq(y1, y2)) << model->name();
+}
+
+TEST_P(NeuralZooTest, GradFreeForwardBitIdenticalToTaped) {
+  // Inference mode (no tape, in-place fast paths) must not change a
+  // single output bit for any model in the zoo.
+  auto model = MakeModel();
+  tensor::Tensor x = SharedBatchX(2);
+  T::Tensor taped = model->Forward(x, false).value();
+  ag::InferenceModeGuard no_grad;
+  T::Tensor grad_free = model->Forward(x, false).value();
+  EXPECT_TRUE(dyhsl::testing::TensorEq(grad_free, taped)) << model->name();
 }
 
 TEST_P(NeuralZooTest, OneAdamStepReducesLoss) {

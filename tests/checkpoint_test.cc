@@ -1,8 +1,11 @@
 // Tests for model checkpointing: round trips, mismatch detection, and a
 // trained-model save/restore through the public forecasting API.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -18,9 +21,7 @@ namespace {
 
 namespace T = ::dyhsl::tensor;
 
-std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using ::dyhsl::testing::TempPath;
 
 TEST(CheckpointTest, LinearRoundTrip) {
   Rng rng(3);
@@ -81,6 +82,167 @@ TEST(CheckpointTest, MissingFileIsIoError) {
   EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
+namespace {
+
+template <typename P>
+void AppendPod(std::string* out, const P& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(P));
+}
+
+// Serializes `module` in the legacy DYH1 layout (no version byte).
+std::string SerializeV1(const nn::Module& module) {
+  std::string raw("DYH1", 4);
+  auto named = module.NamedParameters();
+  AppendPod<uint64_t>(&raw, named.size());
+  for (const auto& [name, param] : named) {
+    AppendPod<uint32_t>(&raw, static_cast<uint32_t>(name.size()));
+    raw.append(name);
+    const T::Tensor& value = param.value();
+    AppendPod<uint32_t>(&raw, static_cast<uint32_t>(value.dim()));
+    for (int64_t d = 0; d < value.dim(); ++d) {
+      AppendPod<int64_t>(&raw, value.size(d));
+    }
+    raw.append(reinterpret_cast<const char*>(value.data()),
+               value.numel() * sizeof(float));
+  }
+  return raw;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string bytes;
+  if (f == nullptr) return bytes;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+std::vector<float> FlattenParams(const nn::Module& module) {
+  std::vector<float> all;
+  for (const auto& [name, param] : module.NamedParameters()) {
+    const float* p = param.value().data();
+    all.insert(all.end(), p, p + param.value().numel());
+  }
+  return all;
+}
+
+}  // namespace
+
+TEST(CheckpointTest, WritesV2HeaderWithVersionByte) {
+  Rng rng(8);
+  nn::Linear module(2, 2, &rng);
+  std::string path = TempPath("v2header.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(module, path).ok());
+  std::string bytes = ReadFile(path);
+  ASSERT_GE(bytes.size(), 5u);
+  EXPECT_EQ(bytes.substr(0, 4), "DYH2");
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LegacyV1FilesStillLoad) {
+  Rng rng(9);
+  nn::Linear source(3, 2, &rng);
+  nn::Linear target(3, 2, &rng);  // different init
+  std::string path = TempPath("legacy.ckpt");
+  WriteFile(path, SerializeV1(source));
+  ASSERT_TRUE(LoadCheckpoint(&target, path).ok());
+  auto a = source.NamedParameters();
+  auto b = target.NamedParameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TENSOR_EQ(a[i].second.value(), b[i].second.value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsUnsupportedVersion) {
+  Rng rng(10);
+  nn::Linear source(2, 2, &rng);
+  std::string path = TempPath("v9.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[4] = 9;  // future format version
+  WriteFile(path, bytes);
+  Status status = LoadCheckpoint(&source, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncationAtEveryPrefixFailsWithoutMutation) {
+  Rng rng(11);
+  nn::Linear source(3, 3, &rng);
+  nn::Linear target(3, 3, &rng);
+  std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  std::string bytes = ReadFile(path);
+  std::vector<float> before = FlattenParams(target);
+  // A handful of prefixes cutting through the header, a name, a shape and
+  // the float payload.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{4}, size_t{5}, size_t{12},
+                     size_t{20}, size_t{40}, bytes.size() - 7,
+                     bytes.size() - 1}) {
+    WriteFile(path, bytes.substr(0, len));
+    Status status = LoadCheckpoint(&target, path);
+    EXPECT_FALSE(status.ok()) << "prefix length " << len;
+    // Transactional: a failed load must leave the module untouched.
+    EXPECT_EQ(FlattenParams(target), before) << "prefix length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruptNameLengthAndRank) {
+  Rng rng(12);
+  nn::Linear source(2, 2, &rng);
+  std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  std::string bytes = ReadFile(path);
+  // Record starts after magic(4) + version(1) + count(8) = offset 13.
+  {
+    std::string hacked = bytes;
+    uint32_t huge = 1u << 30;
+    std::memcpy(hacked.data() + 13, &huge, sizeof(huge));
+    WriteFile(path, hacked);
+    EXPECT_EQ(LoadCheckpoint(&source, path).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Corrupt the rank field of the first record (offset 13 + 4 + name).
+    auto named = source.NamedParameters();
+    size_t rank_off = 13 + 4 + named[0].first.size();
+    std::string hacked = bytes;
+    uint32_t bad_rank = 99;
+    std::memcpy(hacked.data() + rank_off, &bad_rank, sizeof(bad_rank));
+    WriteFile(path, hacked);
+    EXPECT_EQ(LoadCheckpoint(&source, path).code(),
+              StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTrailingBytes) {
+  Rng rng(13);
+  nn::Linear source(2, 2, &rng);
+  std::string path = TempPath("trailing.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  std::string bytes = ReadFile(path) + "junk";
+  WriteFile(path, bytes);
+  EXPECT_EQ(LoadCheckpoint(&source, path).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, TrainedDyHslRestoresExactPredictions) {
   data::TrafficDataset dataset = data::TrafficDataset::Generate(
       data::DatasetSpec::Pems08Like(0.1, 2, 9));
@@ -111,6 +273,13 @@ TEST(CheckpointTest, TrainedDyHslRestoresExactPredictions) {
   T::Tensor y1 = trained.Forward(batch.x, false).value();
   T::Tensor y2 = restored.Forward(batch.x, false).value();
   EXPECT_TENSOR_EQ(y1, y2);
+
+  // The full (grad-free) evaluation pipeline must agree bit-for-bit too.
+  EvalResult e1 = EvaluateModel(&trained, dataset, {0, 16}, 4);
+  EvalResult e2 = EvaluateModel(&restored, dataset, {0, 16}, 4);
+  EXPECT_EQ(e1.overall.mae, e2.overall.mae);
+  EXPECT_EQ(e1.overall.rmse, e2.overall.rmse);
+  EXPECT_EQ(e1.overall.mape, e2.overall.mape);
   std::remove(path.c_str());
 }
 

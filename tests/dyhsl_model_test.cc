@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/autograd/inference.h"
 #include "src/autograd/ops.h"
 #include "src/data/dataset.h"
 #include "src/graph/temporal_graph.h"
@@ -88,6 +89,15 @@ TEST_F(DyHslModelTest, DeterministicForwardInEval) {
   T::Tensor y1 = model.Forward(x, false).value();
   T::Tensor y2 = model.Forward(x, false).value();
   EXPECT_TENSOR_EQ(y1, y2);
+}
+
+TEST_F(DyHslModelTest, GradFreeForwardBitIdenticalToTaped) {
+  DyHsl model(task_, config_);
+  T::Tensor x = MakeBatch(3);
+  T::Tensor taped = model.Forward(x, /*training=*/false).value();
+  ag::InferenceModeGuard no_grad;
+  T::Tensor grad_free = model.Forward(x, /*training=*/false).value();
+  EXPECT_TENSOR_EQ(grad_free, taped);
 }
 
 TEST_F(DyHslModelTest, IncidenceShapeMatchesEq6) {

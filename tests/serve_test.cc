@@ -1,0 +1,268 @@
+// Tests for the forecast-serving engine: correctness of served responses
+// against direct model forwards, micro-batching under concurrent load,
+// determinism across batch compositions, checkpoint bring-up, and
+// request validation.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/inference.h"
+#include "src/serve/engine.h"
+#include "src/train/checkpoint.h"
+#include "src/train/model_zoo.h"
+#include "src/train/trainer.h"
+#include "tests/testing_utils.h"
+
+namespace dyhsl::serve {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+using train::RingForecastTask;
+
+models::DyHslConfig TinyConfig(uint64_t seed = 21) {
+  models::DyHslConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.prior_layers = 1;
+  cfg.mhce_layers = 1;
+  cfg.num_hyperedges = 4;
+  cfg.window_sizes = {1, 12};
+  cfg.dropout = 0.0f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+T::Tensor RandomWindow(const train::ForecastTask& task, uint64_t seed) {
+  Rng rng(seed);
+  return T::Tensor::Randn({task.history, task.num_nodes, task.input_dim},
+                          &rng, 0.5f);
+}
+
+using ::dyhsl::testing::TempPath;
+
+TEST(ForecastEngineTest, ServesForecastMatchingDirectForward) {
+  train::ForecastTask task = RingForecastTask(16, 12);
+  auto created = ForecastEngine::Create(task, TinyConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ForecastEngine> engine = std::move(created).ValueOrDie();
+
+  T::Tensor window = RandomWindow(task, 7);
+  ForecastResponse response =
+      engine->Submit(ForecastRequest{window.Clone()}).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.forecast.shape(), (T::Shape{12, 16}));
+  EXPECT_GE(response.batch_size, 1);
+
+  // Reference: the engine's own model run directly on a batch of one.
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor x = window.Reshape({1, 12, 16, 3});
+  T::Tensor expected =
+      (*engine->mutable_model()).Forward(x, false).value();
+  EXPECT_TENSOR_EQ(response.forecast, expected.Reshape({12, 16}));
+}
+
+TEST(ForecastEngineTest, ConcurrentSubmitsAreBatchedAndCorrect) {
+  train::ForecastTask task = RingForecastTask(12, 12);
+  EngineOptions options;
+  options.max_batch = 4;
+  options.max_delay_us = 20000;  // generous so concurrent requests pack
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+
+  T::Tensor window = RandomWindow(task, 11);
+  T::Tensor expected;
+  {
+    autograd::InferenceModeGuard no_grad;
+    T::Tensor x = window.Reshape({1, 12, 12, 3});
+    expected = (*engine->mutable_model())
+                   .Forward(x, false)
+                   .value()
+                   .Reshape({12, 12});
+  }
+
+  constexpr int kClients = 12;
+  std::vector<std::future<ForecastResponse>> futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      futures[i] = engine->Submit(ForecastRequest{window.Clone()});
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  int64_t max_batch_seen = 0;
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // Batching must not change a single bit of any response.
+    EXPECT_TENSOR_EQ(response.forecast, expected);
+    max_batch_seen = std::max(max_batch_seen, response.batch_size);
+    EXPECT_LE(response.batch_size, options.max_batch);
+  }
+  EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.max_batch_observed, max_batch_seen);
+  // 12 requests through max_batch=4 flushes need at least 3 batches.
+  EXPECT_GE(stats.batches, 3);
+}
+
+TEST(ForecastEngineTest, ResponsesIdenticalAcrossBatchCompositions) {
+  train::ForecastTask task = RingForecastTask(10, 12);
+  // Engine A serves strictly one-by-one; engine B packs micro-batches.
+  EngineOptions solo;
+  solo.max_batch = 1;
+  EngineOptions packed;
+  packed.max_batch = 8;
+  packed.max_delay_us = 20000;
+  auto engine_a =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", solo))
+          .ValueOrDie();
+  auto engine_b =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", packed))
+          .ValueOrDie();
+
+  std::vector<T::Tensor> windows;
+  for (uint64_t s = 0; s < 5; ++s) windows.push_back(RandomWindow(task, s));
+
+  std::vector<std::future<ForecastResponse>> futures_b;
+  for (auto& w : windows) {
+    futures_b.push_back(engine_b->Submit(ForecastRequest{w.Clone()}));
+  }
+  for (size_t i = 0; i < windows.size(); ++i) {
+    ForecastResponse a =
+        engine_a->Submit(ForecastRequest{windows[i].Clone()}).get();
+    ForecastResponse b = futures_b[i].get();
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_TENSOR_EQ(a.forecast, b.forecast);
+  }
+}
+
+TEST(ForecastEngineTest, MultipleWorkersServeEveryRequest) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 2;
+  options.max_delay_us = 500;
+  options.num_workers = 3;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 3);
+  T::Tensor expected;
+  {
+    autograd::InferenceModeGuard no_grad;
+    expected = (*engine->mutable_model())
+                   .Forward(window.Reshape({1, 12, 8, 3}), false)
+                   .value()
+                   .Reshape({12, 8});
+  }
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_TENSOR_EQ(response.forecast, expected);
+  }
+  EXPECT_EQ(engine->stats().requests, 32);
+}
+
+TEST(ForecastEngineTest, LoadsCheckpointAtCreate) {
+  train::ForecastTask task = RingForecastTask(9, 12);
+  // Source model with a different init seed than the engine's config:
+  // only a successful checkpoint load can make their outputs agree.
+  models::DyHsl source(task, TinyConfig(/*seed=*/123));
+  std::string path = TempPath("engine_load.ckpt");
+  ASSERT_TRUE(train::SaveCheckpoint(source, path).ok());
+
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(/*seed=*/321), path))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 5);
+  ForecastResponse response =
+      engine->Submit(ForecastRequest{window.Clone()}).get();
+  ASSERT_TRUE(response.status.ok());
+
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor expected =
+      source.Forward(window.Reshape({1, 12, 9, 3}), false).value();
+  EXPECT_TENSOR_EQ(response.forecast, expected.Reshape({12, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(ForecastEngineTest, CreateFailsOnMissingCheckpoint) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  auto created =
+      ForecastEngine::Create(task, TinyConfig(), "/nonexistent/model.ckpt");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kIoError);
+}
+
+TEST(ForecastEngineTest, CreateValidatesOptions) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions bad;
+  bad.max_batch = 0;
+  EXPECT_FALSE(ForecastEngine::Create(task, TinyConfig(), "", bad).ok());
+  bad = EngineOptions();
+  bad.num_workers = 0;
+  EXPECT_FALSE(ForecastEngine::Create(task, TinyConfig(), "", bad).ok());
+  bad = EngineOptions();
+  bad.max_delay_us = -1;
+  EXPECT_FALSE(ForecastEngine::Create(task, TinyConfig(), "", bad).ok());
+}
+
+TEST(ForecastEngineTest, RejectsMalformedWindow) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig())).ValueOrDie();
+  ForecastResponse response =
+      engine->Submit(ForecastRequest{T::Tensor::Zeros({3, 3})}).get();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  ForecastResponse undefined =
+      engine->Submit(ForecastRequest{T::Tensor()}).get();
+  EXPECT_FALSE(undefined.status.ok());
+}
+
+TEST(ForecastEngineTest, SubmitAfterShutdownFails) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig())).ValueOrDie();
+  T::Tensor window = RandomWindow(task, 1);
+  ASSERT_TRUE(engine->Submit(ForecastRequest{window.Clone()}).get().status.ok());
+  engine->Shutdown();
+  ForecastResponse after =
+      engine->Submit(ForecastRequest{window.Clone()}).get();
+  EXPECT_FALSE(after.status.ok());
+}
+
+TEST(ForecastEngineTest, ShutdownDrainsQueuedRequests) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 64;
+  options.max_delay_us = 1000000;  // would wait a second without shutdown
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 2);
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  engine->Shutdown();  // must flush the partial batch, not strand it
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace dyhsl::serve

@@ -95,6 +95,20 @@ TEST(OpsTest, BroadcastMiddleAxis) {
   EXPECT_EQ(c.At({1, 1, 0}), 210.0f);
 }
 
+TEST(OpsTest, BroadcastZeroSizeLastAxisIsEmpty) {
+  // Regression: the row-based broadcast path must not divide by a
+  // zero-width last axis; the result is simply empty. (2,0) + (1,0)
+  // broadcasts over the leading axis with nothing to compute per row.
+  Tensor a(Shape{2, 0});
+  Tensor b(Shape{1, 0});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 0}));
+  EXPECT_EQ(c.numel(), 0);
+  Tensor d(Shape{2, 0});
+  AddBroadcastInPlace(&d, b);
+  EXPECT_EQ(d.numel(), 0);
+}
+
 // Regression tests for the row-broadcast fast path in BinaryOp: the fast
 // path may fire only when rank-1 b pairs elementwise with a's trailing
 // axis AND the result shape is exactly a.shape. A rank-1 b whose length

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstring>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -148,6 +149,11 @@ inline float SumAbsDiff(const tensor::Tensor& a, const tensor::Tensor& b) {
 /// \brief EXPECT_-style wrapper around TensorEq.
 #define EXPECT_TENSOR_EQ(actual, expected) \
   EXPECT_TRUE(::dyhsl::testing::TensorEq((actual), (expected)))
+
+/// \brief Path under the GoogleTest temp dir for scratch files.
+inline std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
 
 /// \brief Fixture owning a deterministically seeded Rng.
 class SeededTest : public ::testing::Test {

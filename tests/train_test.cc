@@ -198,5 +198,41 @@ TEST(EvaluateModelTest, MaxBatchesLimitsWork) {
   EXPECT_EQ(eval.windows, 12);
 }
 
+TEST(EvaluateModelTest, InferenceModeMetricsBitIdenticalToTapedEval) {
+  // EvaluateModel now runs grad-free; its metrics must match a taped
+  // evaluation loop (the pre-inference-mode implementation) exactly.
+  const data::TrafficDataset& dataset = SmallDataset();
+  ForecastTask task = ForecastTask::FromDataset(dataset);
+  ZooConfig zoo;
+  zoo.hidden_dim = 8;
+  auto model = MakeNeuralModel("DyHSL", task, zoo);
+  data::TrafficDataset::SplitRange range{0, 24};
+  int64_t batch_size = 4;
+
+  EvalResult grad_free =
+      EvaluateModel(model.get(), dataset, range, batch_size);
+
+  metrics::MetricAccumulator overall;
+  std::vector<metrics::MetricAccumulator> horizon(dataset.horizon());
+  data::BatchIterator iter(&dataset, range, batch_size, /*shuffle=*/false,
+                           /*seed=*/1);
+  data::BatchIterator::Batch batch;
+  while (iter.Next(&batch)) {
+    ag::Variable pred = model->Forward(batch.x, /*training=*/false);
+    const T::Tensor& p = pred.value();  // tape alive: the old eval path
+    overall.Add(p, batch.y);
+    for (int64_t t = 0; t < dataset.horizon(); ++t) {
+      horizon[t].Add(T::Slice(p, 1, t, 1), T::Slice(batch.y, 1, t, 1));
+    }
+  }
+  EXPECT_EQ(grad_free.overall.mae, overall.Mae());
+  EXPECT_EQ(grad_free.overall.rmse, overall.Rmse());
+  EXPECT_EQ(grad_free.overall.mape, overall.Mape());
+  ASSERT_EQ(grad_free.per_horizon.size(), horizon.size());
+  for (size_t t = 0; t < horizon.size(); ++t) {
+    EXPECT_EQ(grad_free.per_horizon[t].mae, horizon[t].Mae());
+  }
+}
+
 }  // namespace
 }  // namespace dyhsl::train
