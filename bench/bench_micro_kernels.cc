@@ -53,9 +53,9 @@ void BM_TemporalGraphSpMM(benchmark::State& state) {
   Rng rng(3);
   T::Tensor x = T::Tensor::Randn({16, 12 * n, 32}, &rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(T::SpMM(op->forward, x));
+    benchmark::DoNotOptimize(T::SpMM(op.matrix(), x));
   }
-  state.SetItemsProcessed(state.iterations() * 16 * op->forward.nnz() * 32);
+  state.SetItemsProcessed(state.iterations() * 16 * op.nnz() * 32);
 }
 BENCHMARK(BM_TemporalGraphSpMM)->Arg(64)->Arg(256);
 

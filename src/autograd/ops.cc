@@ -45,20 +45,7 @@ bool ParentNeedsGrad(Node* node, size_t i) {
 // grad buffer — the first touch allocates it and overwrites (beta 0),
 // later touches GEMM-accumulate (beta 1) — so matmul backward passes run
 // without gradient temporaries.
-float GradAccumBeta(Node* parent) {
-  if (!parent->grad.defined()) {
-    if (parent->parents.empty()) {
-      // Leaf (parameter) gradients outlive the step: heap, not arena
-      // (see Node::AccumulateGrad for the same rule).
-      T::WorkspaceBypass bypass;
-      parent->grad = T::Tensor(parent->value.shape());
-    } else {
-      parent->grad = T::Tensor(parent->value.shape());
-    }
-    return 0.0f;
-  }
-  return 1.0f;
-}
+float GradAccumBeta(Node* parent) { return internal::EnsureGradBeta(parent); }
 
 void AccumulateMatMul(Node* node, size_t i, const T::Tensor& x,
                       const T::Tensor& y, bool tx, bool ty) {
@@ -316,13 +303,6 @@ Variable BatchedMatMul(const Variable& a, const Variable& b, bool trans_a,
           AccumulateBatchedMatMul(n, 1, av, g, !trans_a, false);
         }
       });
-}
-
-Variable SpMM(const std::shared_ptr<tensor::SparseOp>& a, const Variable& x) {
-  T::Tensor y = T::SpMM(a->forward, x.value());
-  return MakeOpResult(y, {x}, [a](Node* n) {
-    Accumulate(n, 0, T::SpMM(a->transpose, n->grad));
-  });
 }
 
 Variable Reshape(const Variable& a, tensor::Shape new_shape) {

@@ -14,9 +14,12 @@
 #include <memory>
 #include <vector>
 
+// The taped sparse ops (SpMM over a SparseConstant, SparseDenseMatMul,
+// GatherSparse, ...) live in src/autograd/sparse.h; it is included here so
+// call sites keep seeing the full op vocabulary through one header.
+#include "src/autograd/sparse.h"
 #include "src/autograd/variable.h"
 #include "src/core/rng.h"
-#include "src/tensor/sparse.h"
 
 namespace dyhsl::autograd {
 
@@ -82,9 +85,6 @@ Variable Affine(const Variable& x, const Variable& w, const Variable& b);
 Variable BatchedMatMul(const Variable& a, const Variable& b,
                        bool trans_a = false, bool trans_b = false);
 
-/// \brief Sparse constant matrix times dense variable: A X. X 2-D or 3-D
-/// batched. The sparse matrix carries no gradient.
-Variable SpMM(const std::shared_ptr<tensor::SparseOp>& a, const Variable& x);
 /// @}
 
 /// \name Movement

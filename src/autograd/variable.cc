@@ -28,6 +28,25 @@ void Node::AccumulateGrad(const tensor::Tensor& g) {
   }
 }
 
+namespace internal {
+
+float EnsureGradBeta(Node* node) {
+  if (!node->grad.defined()) {
+    if (node->parents.empty()) {
+      // Leaf (parameter) gradients outlive the step: heap, not arena
+      // (see Node::AccumulateGrad for the same rule).
+      tensor::WorkspaceBypass bypass;
+      node->grad = tensor::Tensor(node->value.shape());
+    } else {
+      node->grad = tensor::Tensor(node->value.shape());
+    }
+    return 0.0f;
+  }
+  return 1.0f;
+}
+
+}  // namespace internal
+
 Variable::Variable(tensor::Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);

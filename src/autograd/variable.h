@@ -85,6 +85,17 @@ Variable MakeOpResult(tensor::Tensor value,
                       std::vector<Variable> parents,
                       std::function<void(Node*)> backward);
 
+namespace internal {
+
+/// \brief Ensures `node->grad` exists and returns the accumulate beta for
+/// fused gradient kernels (GEMM / SpMM ...Into paths): 0 on the first touch
+/// — the buffer is freshly allocated and uninitialized, the kernel must
+/// overwrite — and 1 afterwards. Leaf (parameter) gradients outlive the
+/// step and are kept off the workspace arena.
+float EnsureGradBeta(Node* node);
+
+}  // namespace internal
+
 }  // namespace dyhsl::autograd
 
 #endif  // DYHSL_AUTOGRAD_VARIABLE_H_

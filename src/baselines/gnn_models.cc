@@ -23,16 +23,22 @@ Variable SharedLhsMatMul(const Variable& u, const Variable& m) {
   return ag::TransposePerm(prod, {0, 2, 1});
 }
 
-std::shared_ptr<T::SparseOp> SymAdj(const T::CsrMatrix& spatial) {
-  return T::SparseOp::Create(spatial.WithSelfLoops().SymNormalized());
+ag::SparseConstant SymAdj(const T::CsrMatrix& spatial) {
+  return ag::SparseConstant(spatial.WithSelfLoops().SymNormalized());
 }
 
-std::shared_ptr<T::SparseOp> ForwardTransition(const T::CsrMatrix& spatial) {
-  return T::SparseOp::Create(spatial.RowNormalized());
+ag::SparseConstant ForwardTransition(const T::CsrMatrix& spatial) {
+  return ag::SparseConstant(spatial.RowNormalized());
 }
 
-std::shared_ptr<T::SparseOp> BackwardTransition(const T::CsrMatrix& spatial) {
-  return T::SparseOp::Create(spatial.Transposed().RowNormalized());
+ag::SparseConstant BackwardTransition(const T::CsrMatrix& spatial) {
+  return ag::SparseConstant(spatial.Transposed().RowNormalized());
+}
+
+// Factored hypergraph convolution: x -> D_v^-1 Λ (D_e^-1 Λ^T x).
+Variable HyperConv(const hypergraph::FactoredIncidence& op,
+                   const Variable& x) {
+  return ag::SpMM(op.edge_to_node, ag::SpMM(op.node_to_edge, x));
 }
 
 // (B, T, N, F) tensor -> per-step Variable (B, N, F).
@@ -310,7 +316,7 @@ HgcRnn::HgcRnn(const train::ForecastTask& task, int64_t hidden_dim,
     : GnnModelBase(task, seed),
       hidden_dim_(hidden_dim),
       hyper_op_(hypergraph::Hypergraph::FromCommunities(task.district_labels)
-                    .NormalizedOperator()),
+                    .FactoredOperator()),
       gate_zr_(task.input_dim + hidden_dim, 2 * hidden_dim, &rng_),
       gate_c_(task.input_dim + hidden_dim, hidden_dim, &rng_),
       head_(hidden_dim, task.horizon, &rng_) {
@@ -326,11 +332,11 @@ Variable HgcRnn::Forward(const tensor::Tensor& x, bool training) {
   Variable h(tensor::Tensor::Zeros({batch, n, hidden_dim_}));
   for (int64_t t = 0; t < task_.history; ++t) {
     // GRU whose transforms see hypergraph-convolved features.
-    Variable xh = ag::SpMM(hyper_op_, ag::Concat({StepSlice(input, t), h}, 2));
+    Variable xh = HyperConv(hyper_op_, ag::Concat({StepSlice(input, t), h}, 2));
     Variable zr = ag::Sigmoid(gate_zr_.Forward(xh));
     Variable z = ag::Slice(zr, 2, 0, hidden_dim_);
     Variable r = ag::Slice(zr, 2, hidden_dim_, hidden_dim_);
-    Variable xrh = ag::SpMM(
+    Variable xrh = HyperConv(
         hyper_op_, ag::Concat({StepSlice(input, t), ag::Mul(r, h)}, 2));
     Variable c = ag::Tanh(gate_c_.Forward(xrh));
     Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
@@ -392,7 +398,7 @@ Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
   hypergraph::Hypergraph hg(
       n, cluster_edges + n,
       T::CsrMatrix::FromTriplets(n, cluster_edges + n, std::move(incidence)));
-  auto hyper_op = hg.NormalizedOperator();
+  hypergraph::FactoredIncidence hyper_op = hg.FactoredOperator();
 
   // Temporal encoding (shared GRU per node), then hypergraph convolutions.
   Variable input(x);
@@ -404,8 +410,8 @@ Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
     h = encoder_.Forward(xt, h);
   }
   Variable node_h = ag::Reshape(h, {batch, n, hidden_dim_});
-  Variable g1 = ag::Relu(hconv1_.Forward(ag::SpMM(hyper_op, node_h)));
-  Variable g2 = ag::Relu(hconv2_.Forward(ag::SpMM(hyper_op, g1)));
+  Variable g1 = ag::Relu(hconv1_.Forward(HyperConv(hyper_op, node_h)));
+  Variable g2 = ag::Relu(hconv2_.Forward(HyperConv(hyper_op, g1)));
   Variable out = ag::TransposePerm(head_.Forward(ag::Add(node_h, g2)),
                                    {0, 2, 1});
   return train::Descale(out, task_.scaler_mean, task_.scaler_std);

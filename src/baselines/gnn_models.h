@@ -62,7 +62,7 @@ class Stgcn : public GnnModelBase {
                          int64_t channels) const;
 
   int64_t hidden_dim_;
-  std::shared_ptr<tensor::SparseOp> sym_adj_;
+  autograd::SparseConstant sym_adj_;
   nn::Conv1dLayer tconv1_;
   nn::Linear gconv_;
   nn::Conv1dLayer tconv2_;
@@ -82,8 +82,8 @@ class Dcrnn : public GnnModelBase {
   Variable CellStep(const Variable& x_t, const Variable& h) const;
 
   int64_t hidden_dim_;
-  std::shared_ptr<tensor::SparseOp> fw_;
-  std::shared_ptr<tensor::SparseOp> bw_;
+  autograd::SparseConstant fw_;
+  autograd::SparseConstant bw_;
   nn::DiffusionConv gate_zr_;  // -> 2 * hidden
   nn::DiffusionConv gate_c_;   // -> hidden
   nn::Linear readout_;
@@ -101,8 +101,8 @@ class GraphWaveNet : public GnnModelBase {
 
  private:
   int64_t channels_;
-  std::shared_ptr<tensor::SparseOp> fw_;
-  std::shared_ptr<tensor::SparseOp> bw_;
+  autograd::SparseConstant fw_;
+  autograd::SparseConstant bw_;
   Variable emb1_;  // (N, r) self-adaptive adjacency factors
   Variable emb2_;
   nn::Linear input_proj_;
@@ -141,7 +141,7 @@ class Stsgcn : public GnnModelBase {
 
  private:
   int64_t hidden_dim_;
-  std::shared_ptr<tensor::SparseOp> local_op_;  // 3-step temporal graph
+  autograd::SparseConstant local_op_;  // 3-step temporal graph
   nn::Linear input_proj_;
   nn::Linear gconv1_;
   nn::Linear gconv2_;
@@ -150,7 +150,9 @@ class Stsgcn : public GnnModelBase {
 
 /// \brief HGC-RNN (Yi & Park, KDD'20): GRU with hypergraph convolution on a
 /// predefined hypergraph (here: the latent district communities, which is
-/// exactly the static-hyperedge setting of paper Fig. 1).
+/// exactly the static-hyperedge setting of paper Fig. 1). The convolution
+/// runs the factored two-step form D_v^-1 Λ (D_e^-1 Λ^T x) — two sparse
+/// products in O(nnz(Λ)) instead of the materialized node-by-node operator.
 class HgcRnn : public GnnModelBase {
  public:
   HgcRnn(const train::ForecastTask& task, int64_t hidden_dim, uint64_t seed);
@@ -159,7 +161,7 @@ class HgcRnn : public GnnModelBase {
 
  private:
   int64_t hidden_dim_;
-  std::shared_ptr<tensor::SparseOp> hyper_op_;
+  hypergraph::FactoredIncidence hyper_op_;  // factored D_v^-1 Λ D_e^-1 Λ^T
   nn::Linear gate_zr_;
   nn::Linear gate_c_;
   nn::Linear head_;
@@ -199,7 +201,7 @@ class StgOde : public GnnModelBase {
 
   int64_t hidden_dim_;
   int64_t rk4_steps_;
-  std::shared_ptr<tensor::SparseOp> sym_adj_;
+  autograd::SparseConstant sym_adj_;
   nn::GruCell encoder_;
   nn::Linear field_proj_;
   nn::Linear head_;

@@ -23,6 +23,9 @@ enum class StatusCode : int {
   kIoError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  /// Transient overload: the caller may retry later (e.g. a serving queue
+  /// at its admission limit).
+  kUnavailable = 8,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "IOError"...).
@@ -60,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -41,10 +41,10 @@ tensor::CsrMatrix BuildTemporalGraph(const tensor::CsrMatrix& spatial,
   return tensor::CsrMatrix::FromTriplets(total, total, std::move(triplets));
 }
 
-std::shared_ptr<tensor::SparseOp> BuildNormalizedTemporalOp(
+autograd::SparseConstant BuildNormalizedTemporalOp(
     const tensor::CsrMatrix& spatial, int64_t num_steps,
     const TemporalGraphOptions& options) {
-  return tensor::SparseOp::Create(
+  return autograd::SparseConstant(
       BuildTemporalGraph(spatial, num_steps, options).RowNormalized());
 }
 

@@ -13,6 +13,7 @@
 #ifndef DYHSL_GRAPH_TEMPORAL_GRAPH_H_
 #define DYHSL_GRAPH_TEMPORAL_GRAPH_H_
 
+#include "src/autograd/sparse.h"
 #include "src/tensor/sparse.h"
 
 namespace dyhsl::graph {
@@ -33,9 +34,10 @@ tensor::CsrMatrix BuildTemporalGraph(const tensor::CsrMatrix& spatial,
                                      int64_t num_steps,
                                      const TemporalGraphOptions& options = {});
 
-/// \brief Row-normalized temporal graph wrapped as a reusable sparse op
-/// (\bar{A} below Eq. 5: every row sums to 1).
-std::shared_ptr<tensor::SparseOp> BuildNormalizedTemporalOp(
+/// \brief Row-normalized temporal graph as a tape-ready sparse constant
+/// (\bar{A} below Eq. 5: every row sums to 1). Consumers run it with
+/// autograd::SpMM — the adjacency never densifies.
+autograd::SparseConstant BuildNormalizedTemporalOp(
     const tensor::CsrMatrix& spatial, int64_t num_steps,
     const TemporalGraphOptions& options = {});
 

@@ -41,19 +41,38 @@ Hypergraph Hypergraph::FromKMeans(const tensor::Tensor& features,
   return FromCommunities(labels);
 }
 
-std::shared_ptr<tensor::SparseOp> Hypergraph::NormalizedOperator() const {
+namespace {
+
+// Weighted degrees of every hyperedge (column sums) and node (row sums)
+// of an incidence matrix. Zero degrees are legal — empty hyperedges and
+// isolated nodes simply stay disconnected — so every 1/degree scaling
+// below guards on degree > 0 rather than dividing blindly.
+void IncidenceDegrees(const tensor::CsrMatrix& incidence,
+                      std::vector<double>* node_degree,
+                      std::vector<double>* edge_degree) {
+  node_degree->assign(incidence.rows(), 0.0);
+  edge_degree->assign(incidence.cols(), 0.0);
+  const auto& rp = incidence.row_ptr();
+  const auto& ci = incidence.col_idx();
+  const auto& vals = incidence.values();
+  for (int64_t v = 0; v < incidence.rows(); ++v) {
+    for (int64_t k = rp[v]; k < rp[v + 1]; ++k) {
+      (*edge_degree)[ci[k]] += vals[k];
+      (*node_degree)[v] += vals[k];
+    }
+  }
+}
+
+}  // namespace
+
+autograd::SparseConstant Hypergraph::NormalizedOperator() const {
   // G = D_v^-1 Λ D_e^-1 Λ^T, assembled sparsely through edge membership.
-  std::vector<double> edge_degree(num_edges_, 0.0);
-  std::vector<double> node_degree(num_nodes_, 0.0);
+  std::vector<double> edge_degree;
+  std::vector<double> node_degree;
+  IncidenceDegrees(incidence_, &node_degree, &edge_degree);
   const auto& rp = incidence_.row_ptr();
   const auto& ci = incidence_.col_idx();
   const auto& vals = incidence_.values();
-  for (int64_t v = 0; v < num_nodes_; ++v) {
-    for (int64_t k = rp[v]; k < rp[v + 1]; ++k) {
-      edge_degree[ci[k]] += vals[k];
-      node_degree[v] += vals[k];
-    }
-  }
   // Members per edge.
   std::vector<std::vector<std::pair<int64_t, float>>> members(num_edges_);
   for (int64_t v = 0; v < num_nodes_; ++v) {
@@ -63,9 +82,12 @@ std::shared_ptr<tensor::SparseOp> Hypergraph::NormalizedOperator() const {
   }
   std::vector<tensor::Triplet> triplets;
   for (int64_t e = 0; e < num_edges_; ++e) {
+    // Empty hyperedge: no members, nothing to propagate (and no 1/0).
     if (edge_degree[e] <= 0.0) continue;
     float inv_edge = static_cast<float>(1.0 / edge_degree[e]);
     for (const auto& [u, wu] : members[e]) {
+      // Isolated-by-weight node: skip, matching RowNormalized's contract
+      // of leaving zero rows zero.
       if (node_degree[u] <= 0.0) continue;
       float inv_node = static_cast<float>(1.0 / node_degree[u]);
       for (const auto& [v, wv] : members[e]) {
@@ -73,8 +95,42 @@ std::shared_ptr<tensor::SparseOp> Hypergraph::NormalizedOperator() const {
       }
     }
   }
-  return tensor::SparseOp::Create(tensor::CsrMatrix::FromTriplets(
+  return autograd::SparseConstant(tensor::CsrMatrix::FromTriplets(
       num_nodes_, num_nodes_, std::move(triplets)));
+}
+
+FactoredIncidence Hypergraph::FactoredOperator() const {
+  std::vector<double> edge_degree;
+  std::vector<double> node_degree;
+  IncidenceDegrees(incidence_, &node_degree, &edge_degree);
+  const auto& rp = incidence_.row_ptr();
+  const auto& ci = incidence_.col_idx();
+  const auto& vals = incidence_.values();
+  std::vector<tensor::Triplet> to_edge;    // D_e^-1 Λ^T  (E x N)
+  std::vector<tensor::Triplet> to_node;    // D_v^-1 Λ    (N x E)
+  to_edge.reserve(vals.size());
+  to_node.reserve(vals.size());
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    for (int64_t k = rp[v]; k < rp[v + 1]; ++k) {
+      int64_t e = ci[k];
+      if (edge_degree[e] > 0.0) {
+        to_edge.push_back(
+            {e, v, static_cast<float>(vals[k] / edge_degree[e])});
+      }
+      if (node_degree[v] > 0.0) {
+        to_node.push_back(
+            {v, e, static_cast<float>(vals[k] / node_degree[v])});
+      }
+    }
+  }
+  FactoredIncidence factored;
+  factored.node_to_edge = autograd::SparseConstant(
+      tensor::CsrMatrix::FromTriplets(num_edges_, num_nodes_,
+                                      std::move(to_edge)));
+  factored.edge_to_node = autograd::SparseConstant(
+      tensor::CsrMatrix::FromTriplets(num_nodes_, num_edges_,
+                                      std::move(to_node)));
+  return factored;
 }
 
 std::vector<int64_t> KMeansLabels(const tensor::Tensor& points,

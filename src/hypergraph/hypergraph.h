@@ -17,11 +17,24 @@
 #include <memory>
 #include <vector>
 
+#include "src/autograd/sparse.h"
 #include "src/core/rng.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 
 namespace dyhsl::hypergraph {
+
+/// \brief The two-step factorization of the propagation operator
+/// G = D_v⁻¹ Λ D_e⁻¹ Λᵀ: apply as edge_to_node * (node_to_edge * X).
+/// O(nnz(Λ) · d) per product versus O(Σ_e |e|² · d) for the materialized
+/// G — for dense districts (|e| ~ N/E nodes per hyperedge) the factored
+/// form is what keeps hypergraph convolution sparse at scale.
+struct FactoredIncidence {
+  /// D_e⁻¹ Λᵀ, (num_edges x num_nodes): average node features per edge.
+  autograd::SparseConstant node_to_edge;
+  /// D_v⁻¹ Λ, (num_nodes x num_edges): average edge features per node.
+  autograd::SparseConstant edge_to_node;
+};
 
 /// \brief A hypergraph as a sparse node x hyperedge incidence matrix.
 class Hypergraph {
@@ -49,8 +62,17 @@ class Hypergraph {
   const tensor::CsrMatrix& incidence() const { return incidence_; }
 
   /// \brief Normalized propagation operator D_v^-1 Λ D_e^-1 Λ^T as a
-  /// reusable sparse op (num_nodes x num_nodes).
-  std::shared_ptr<tensor::SparseOp> NormalizedOperator() const;
+  /// reusable sparse constant (num_nodes x num_nodes). Degenerate inputs
+  /// are handled like CsrMatrix::RowNormalized handles zero rows: empty
+  /// hyperedges and zero-degree (isolated) nodes contribute nothing —
+  /// their rows stay empty instead of dividing by zero.
+  autograd::SparseConstant NormalizedOperator() const;
+
+  /// \brief The same propagation split into its two sparse factors (see
+  /// FactoredIncidence): cheaper than the materialized product whenever
+  /// hyperedges are large, and exactly equal to it in exact arithmetic.
+  /// The same zero-degree guards apply.
+  FactoredIncidence FactoredOperator() const;
 
  private:
   int64_t num_nodes_ = 0;

@@ -15,7 +15,7 @@ namespace T = ::dyhsl::tensor;
 
 PriorGraphEncoder::PriorGraphEncoder(
     int64_t num_nodes, int64_t history, int64_t input_dim, int64_t hidden_dim,
-    int64_t num_layers, std::shared_ptr<tensor::SparseOp> temporal_op,
+    int64_t num_layers, autograd::SparseConstant temporal_op,
     Rng* rng, bool residual)
     : num_nodes_(num_nodes),
       history_(history),
@@ -25,7 +25,7 @@ PriorGraphEncoder::PriorGraphEncoder(
       input_proj_(input_dim, hidden_dim, rng),
       node_embedding_(num_nodes, hidden_dim, rng),
       step_embedding_(history, hidden_dim, rng) {
-  DYHSL_CHECK_EQ(temporal_op_->forward.rows(), num_nodes * history);
+  DYHSL_CHECK_EQ(temporal_op_.rows(), num_nodes * history);
   RegisterChild("input_proj", &input_proj_);
   RegisterChild("node_embedding", &node_embedding_);
   RegisterChild("step_embedding", &step_embedding_);
@@ -66,8 +66,16 @@ Variable PriorGraphEncoder::Forward(const Variable& x) const {
 }
 
 DhslBlock::DhslBlock(int64_t hidden_dim, int64_t num_hyperedges, Rng* rng,
-                     StructureLearning mode)
-    : hidden_dim_(hidden_dim), num_hyperedges_(num_hyperedges), mode_(mode) {
+                     StructureLearning mode, int64_t sparse_topk)
+    : hidden_dim_(hidden_dim),
+      num_hyperedges_(num_hyperedges),
+      mode_(mode),
+      sparse_topk_(sparse_topk) {
+  DYHSL_CHECK_GE(sparse_topk, 0);
+  DYHSL_CHECK_MSG(sparse_topk <= num_hyperedges,
+                  "sparse_topk " + std::to_string(sparse_topk) +
+                      " exceeds num_hyperedges " +
+                      std::to_string(num_hyperedges));
   T::Tensor w = nn::GlorotUniform2D(hidden_dim, num_hyperedges, rng);
   if (mode_ == StructureLearning::kFixedRandom) {
     // "NSL": the incidence direction is frozen; hypergraph convolution
@@ -119,6 +127,9 @@ Variable DhslBlock::Forward(const Variable& h) const {
   float edge_scale =
       1.0f / std::sqrt(static_cast<float>(num_hyperedges_));
   Variable incidence = Incidence(h);  // (B, R, I)
+  if (sparse_topk_ > 0) {
+    return SparseForward(h, incidence, row_scale, edge_scale);
+  }
   // Eq. 7: E = φ(U ΛᵀH) + ΛᵀH.
   Variable edge_feat = ag::MulScalar(
       ag::BatchedMatMul(incidence, h, /*trans_a=*/true, false), row_scale);
@@ -126,6 +137,36 @@ Variable DhslBlock::Forward(const Variable& h) const {
   Variable edges = ag::Add(ag::Relu(mixed), edge_feat);  // (B, I, d)
   // Eq. 8: F = Λ E.
   return ag::MulScalar(ag::BatchedMatMul(incidence, edges), edge_scale);
+}
+
+Variable DhslBlock::SparseForward(const Variable& h, const Variable& incidence,
+                                  float row_scale, float edge_scale) const {
+  // Top-k sparsification of Λ per batch item. Selection reads the forward
+  // values only (structure is piecewise constant, never differentiated);
+  // GatherSparse then routes the value gradient of the kept entries back
+  // into the dense Λ tape — dropped entries receive the exact subgradient
+  // zero of the hard top-k.
+  const T::Tensor& lam = incidence.value();  // (B, R, I)
+  const int64_t batch = lam.size(0);
+  const int64_t rows = lam.size(1);
+  ag::CsrPatternList patterns;
+  patterns.reserve(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    patterns.push_back(
+        T::RowTopKPattern(lam.data() + b * rows * num_hyperedges_, rows,
+                          num_hyperedges_, sparse_topk_));
+  }
+  Variable values = ag::GatherSparse(incidence, patterns);  // (B, R*k)
+  // Eq. 7: E = φ(U ΛᵀH) + ΛᵀH on the sparsified Λ.
+  Variable edge_feat = ag::MulScalar(
+      ag::BatchedSparseDenseMatMul(patterns, values, h, /*trans_a=*/true),
+      row_scale);
+  Variable mixed = ag::BatchedMatMul(edge_mixer_, edge_feat);
+  Variable edges = ag::Add(ag::Relu(mixed), edge_feat);  // (B, I, d)
+  // Eq. 8: F = Λ E.
+  return ag::MulScalar(
+      ag::BatchedSparseDenseMatMul(patterns, values, edges, false),
+      edge_scale);
 }
 
 IgcBlock::IgcBlock(int64_t hidden_dim, Rng* rng)
@@ -137,7 +178,7 @@ IgcBlock::IgcBlock(int64_t hidden_dim, Rng* rng)
   RegisterChild("w3", &w3_);
 }
 
-Variable IgcBlock::Forward(const std::shared_ptr<tensor::SparseOp>& adj,
+Variable IgcBlock::Forward(const autograd::SparseConstant& adj,
                            const Variable& h) const {
   // Both sums in Eq. 11 share the same neighborhood aggregation Ā h.
   Variable m = ag::SpMM(adj, h);

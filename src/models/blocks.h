@@ -26,7 +26,7 @@ class PriorGraphEncoder : public nn::Module {
  public:
   PriorGraphEncoder(int64_t num_nodes, int64_t history, int64_t input_dim,
                     int64_t hidden_dim, int64_t num_layers,
-                    std::shared_ptr<tensor::SparseOp> temporal_op, Rng* rng,
+                    autograd::SparseConstant temporal_op, Rng* rng,
                     bool residual = true);
 
   /// \brief x: (B, T, N, F) -> hidden states (B, T*N, d), rows time-major.
@@ -37,7 +37,7 @@ class PriorGraphEncoder : public nn::Module {
   int64_t history_;
   int64_t hidden_dim_;
   bool residual_;
-  std::shared_ptr<tensor::SparseOp> temporal_op_;
+  autograd::SparseConstant temporal_op_;
   nn::Linear input_proj_;
   nn::Embedding node_embedding_;
   nn::Embedding step_embedding_;
@@ -68,8 +68,16 @@ enum class StructureLearning : int {
 /// are otherwise verbatim).
 class DhslBlock : public nn::Module {
  public:
+  /// \brief `sparse_topk` > 0 enables the sparse execution mode: after Λ is
+  /// computed (Eq. 6), only the `sparse_topk` largest-magnitude entries per
+  /// row are kept and the Eq. 7/8 products run as per-batch CSR SpMMs with
+  /// gradients flowing through the kept entries (SDDMM). 0 keeps the
+  /// paper's dense path; `sparse_topk == num_hyperedges` is the dense math
+  /// on the sparse kernels (agreement asserted in tests). Ignored by the
+  /// kFromScratch ablation, which has no incidence factorization.
   DhslBlock(int64_t hidden_dim, int64_t num_hyperedges, Rng* rng,
-            StructureLearning mode = StructureLearning::kLowRank);
+            StructureLearning mode = StructureLearning::kLowRank,
+            int64_t sparse_topk = 0);
 
   /// \brief One hypergraph convolution pass over H (B, R, d).
   Variable Forward(const Variable& h) const;
@@ -84,9 +92,14 @@ class DhslBlock : public nn::Module {
   void RegisterSequenceLength(int64_t rows, Rng* rng);
 
  private:
+  /// The Eq. 7/8 products on the top-k sparsified incidence.
+  Variable SparseForward(const Variable& h, const Variable& incidence,
+                         float row_scale, float edge_scale) const;
+
   int64_t hidden_dim_;
   int64_t num_hyperedges_;
   StructureLearning mode_;
+  int64_t sparse_topk_;
   Variable incidence_weight_;  // (d, I); parameter for kLowRank,
                                // constant for kFixedRandom
   Variable edge_mixer_;        // U: (I, I)
@@ -103,7 +116,7 @@ class IgcBlock : public nn::Module {
 
   /// \brief h: (B, R, d); `adj` is the row-normalized temporal graph of the
   /// current scale (R x R).
-  Variable Forward(const std::shared_ptr<tensor::SparseOp>& adj,
+  Variable Forward(const autograd::SparseConstant& adj,
                    const Variable& h) const;
 
  private:

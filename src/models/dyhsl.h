@@ -28,6 +28,14 @@ struct DyHslConfig {
   float dropout = 0.1f;
   uint64_t seed = 21;
 
+  /// \brief Sparse execution mode for the learned incidence Λ: keep only
+  /// the `sparse_topk` largest-magnitude entries per Λ row and run the
+  /// DHSL products as per-batch CSR SpMMs (gradients flow through the kept
+  /// entries via SDDMM). 0 (default) is the paper's dense path;
+  /// `num_hyperedges` reproduces the dense math on sparse kernels. Must
+  /// lie in [0, num_hyperedges]; no effect under kFromScratch.
+  int64_t sparse_topk = 0;
+
   /// \name Ablation switches (Tables V / VI / VII)
   /// @{
   StructureLearning structure_learning = StructureLearning::kLowRank;
@@ -71,9 +79,9 @@ class DyHsl : public nn::Module, public train::ForecastModel {
   DyHslConfig config_;
   Rng rng_;
 
-  std::shared_ptr<tensor::SparseOp> prior_temporal_op_;
+  autograd::SparseConstant prior_temporal_op_;
   /// Normalized temporal-graph operator per pooled length T/ε.
-  std::map<int64_t, std::shared_ptr<tensor::SparseOp>> scale_ops_;
+  std::map<int64_t, autograd::SparseConstant> scale_ops_;
 
   PriorGraphEncoder encoder_;
   DhslBlock dhsl_;

@@ -137,7 +137,7 @@ GraphConv::GraphConv(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias)
   RegisterChild("proj", &proj_);
 }
 
-Variable GraphConv::Forward(const std::shared_ptr<tensor::SparseOp>& adj,
+Variable GraphConv::Forward(const autograd::SparseConstant& adj,
                             const Variable& x) const {
   return proj_.Forward(ag::SpMM(adj, x));
 }
@@ -158,8 +158,8 @@ DiffusionConv::DiffusionConv(int64_t in_dim, int64_t out_dim, int64_t steps,
   }
 }
 
-Variable DiffusionConv::Forward(const std::shared_ptr<tensor::SparseOp>& fw,
-                                const std::shared_ptr<tensor::SparseOp>& bw,
+Variable DiffusionConv::Forward(const autograd::SparseConstant& fw,
+                                const autograd::SparseConstant& bw,
                                 const Variable& x) const {
   Variable out = fw_proj_[0]->Forward(x);  // k = 0 term (identity)
   Variable xf = x;

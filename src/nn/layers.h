@@ -129,7 +129,7 @@ class GraphConv : public Module {
   GraphConv(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias = true);
 
   /// x: (rows, in) or (B, rows, in); `adj` rows must match x rows.
-  Variable Forward(const std::shared_ptr<tensor::SparseOp>& adj,
+  Variable Forward(const autograd::SparseConstant& adj,
                    const Variable& x) const;
 
  private:
@@ -142,8 +142,8 @@ class DiffusionConv : public Module {
  public:
   DiffusionConv(int64_t in_dim, int64_t out_dim, int64_t steps, Rng* rng);
 
-  Variable Forward(const std::shared_ptr<tensor::SparseOp>& fw,
-                   const std::shared_ptr<tensor::SparseOp>& bw,
+  Variable Forward(const autograd::SparseConstant& fw,
+                   const autograd::SparseConstant& bw,
                    const Variable& x) const;
 
  private:

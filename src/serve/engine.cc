@@ -33,6 +33,9 @@ Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
   if (options.num_workers < 1) {
     return Status::InvalidArgument("EngineOptions.num_workers must be >= 1");
   }
+  if (options.max_queue < 0) {
+    return Status::InvalidArgument("EngineOptions.max_queue must be >= 0");
+  }
   // The constructor builds the model, which pre-computes the normalized
   // temporal operator of every pooling scale — the expensive part of
   // bring-up, paid exactly once.
@@ -93,6 +96,19 @@ std::future<ForecastResponse> ForecastEngine::Submit(ForecastRequest request) {
       ForecastResponse response;
       response.status =
           Status::InvalidArgument("ForecastEngine is shut down");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (options_.max_queue > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      // Admission control: shed load now rather than queueing past the
+      // point where every response is late. The future still resolves —
+      // callers always get a Status, never a broken promise.
+      stats_.rejected += 1;
+      ForecastResponse response;
+      response.status = Status::Unavailable(
+          "queue full (" + std::to_string(queue_.size()) + " waiting, "
+          "max_queue " + std::to_string(options_.max_queue) + ")");
       promise.set_value(std::move(response));
       return future;
     }

@@ -63,6 +63,11 @@ struct EngineOptions {
   int64_t max_delay_us = 1000;
   /// Worker threads, each with its own warm Workspace arena.
   int64_t num_workers = 1;
+  /// Admission control: with `max_queue` > 0, a Submit() arriving while
+  /// that many requests are already waiting is rejected immediately with a
+  /// kUnavailable Status instead of growing the queue without bound.
+  /// 0 keeps the queue unbounded.
+  int64_t max_queue = 0;
 };
 
 /// \brief Aggregate serving counters (monotonic since engine start).
@@ -70,6 +75,8 @@ struct EngineStats {
   int64_t requests = 0;
   int64_t batches = 0;
   int64_t max_batch_observed = 0;
+  /// Submissions rejected by max_queue admission control.
+  int64_t rejected = 0;
 };
 
 /// \brief Loads a model + checkpoint once and serves batched grad-free

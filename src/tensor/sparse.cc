@@ -2,10 +2,77 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "src/core/check.h"
 
 namespace dyhsl::tensor {
+
+namespace {
+
+// Shared CSR × dense core: out(b, r, :) = beta * out + sum_k v_k x(b, c_k, :)
+// for the structure given by row_ptr/col_idx. `val_perm`, when non-null,
+// indirects value reads (the transposed-pattern case). Parallelism is over
+// (batch, row) only — each output row is accumulated sequentially in CSR
+// order, so results are bit-identical for every OpenMP thread count.
+void SpMMCore(int64_t batch, int64_t rows, const int64_t* row_ptr,
+              const int64_t* col_idx, const float* vals,
+              const int64_t* val_perm, const float* px, int64_t x_rows,
+              int64_t f, float beta, float* po) {
+  const int64_t x_step = x_rows * f;
+  const int64_t o_step = rows * f;
+  const int64_t nnz = row_ptr[rows];
+#pragma omp parallel for collapse(2) if (batch * nnz * f > 16384)
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t r = 0; r < rows; ++r) {
+      float* orow = po + b * o_step + r * f;
+      const int64_t k0 = row_ptr[r], k1 = row_ptr[r + 1];
+      int64_t k = k0;
+      if (beta == 0.0f) {
+        // The first nonzero initializes the row (out may be uninitialized).
+        if (k0 == k1) {
+          for (int64_t c = 0; c < f; ++c) orow[c] = 0.0f;
+          continue;
+        }
+        const float v = vals[val_perm != nullptr ? val_perm[k0] : k0];
+        const float* xrow = px + b * x_step + col_idx[k0] * f;
+        for (int64_t c = 0; c < f; ++c) orow[c] = v * xrow[c];
+        k = k0 + 1;
+      } else if (beta != 1.0f) {
+        for (int64_t c = 0; c < f; ++c) orow[c] *= beta;
+      }
+      for (; k < k1; ++k) {
+        const float v = vals[val_perm != nullptr ? val_perm[k] : k];
+        const float* xrow = px + b * x_step + col_idx[k] * f;
+        for (int64_t c = 0; c < f; ++c) orow[c] += v * xrow[c];
+      }
+    }
+  }
+}
+
+struct DenseDims {
+  int64_t batch;
+  int64_t rows;
+  int64_t f;
+};
+
+DenseDims CheckDense(const Tensor& x, int64_t expected_rows,
+                     const char* what) {
+  DYHSL_CHECK_MSG(x.dim() == 2 || x.dim() == 3,
+                  std::string(what) + ": dense operand must be 2-D or 3-D");
+  bool batched = x.dim() == 3;
+  DenseDims d;
+  d.batch = batched ? x.size(0) : 1;
+  d.rows = batched ? x.size(1) : x.size(0);
+  d.f = batched ? x.size(2) : x.size(1);
+  DYHSL_CHECK_MSG(d.rows == expected_rows,
+                  std::string(what) + " dim mismatch: dense operand has " +
+                      std::to_string(d.rows) + " rows, expected " +
+                      std::to_string(expected_rows));
+  return d;
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
                                   std::vector<Triplet> triplets) {
@@ -60,6 +127,13 @@ CsrMatrix CsrMatrix::Transposed() const {
     }
   }
   return FromTriplets(cols_, rows_, std::move(t));
+}
+
+CsrMatrix CsrMatrix::WithValues(std::vector<float> values) const {
+  DYHSL_CHECK_EQ(static_cast<int64_t>(values.size()), nnz());
+  CsrMatrix m = *this;
+  m.values_ = std::move(values);
+  return m;
 }
 
 CsrMatrix CsrMatrix::RowNormalized() const {
@@ -124,50 +198,281 @@ Tensor CsrMatrix::ToDense() const {
   return d;
 }
 
+namespace {
+
+// Fills t_row_ptr / t_col_idx / t_perm from the (already set) forward
+// structure. Counting-sort transpose: scanning A's rows in order fills
+// each transpose row with ascending column (= original row) indices.
+void BuildPatternTranspose(CsrPattern* p) {
+  const int64_t nnz = p->nnz();
+  p->t_row_ptr.assign(p->cols + 1, 0);
+  for (int64_t k = 0; k < nnz; ++k) p->t_row_ptr[p->col_idx[k] + 1] += 1;
+  for (int64_t c = 0; c < p->cols; ++c) p->t_row_ptr[c + 1] += p->t_row_ptr[c];
+  p->t_col_idx.resize(nnz);
+  p->t_perm.resize(nnz);
+  std::vector<int64_t> cursor(p->t_row_ptr.begin(), p->t_row_ptr.end() - 1);
+  for (int64_t r = 0; r < p->rows; ++r) {
+    for (int64_t k = p->row_ptr[r]; k < p->row_ptr[r + 1]; ++k) {
+      int64_t slot = cursor[p->col_idx[k]]++;
+      p->t_col_idx[slot] = r;
+      p->t_perm[slot] = k;
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CsrPattern> CsrPattern::FromCsr(const CsrMatrix& m) {
+  auto p = std::make_shared<CsrPattern>();
+  p->rows = m.rows();
+  p->cols = m.cols();
+  p->row_ptr = m.row_ptr();
+  p->col_idx = m.col_idx();
+  BuildPatternTranspose(p.get());
+  return p;
+}
+
+std::shared_ptr<const CsrPattern> RowTopKPattern(const float* data,
+                                                 int64_t rows, int64_t cols,
+                                                 int64_t k,
+                                                 float* out_values) {
+  DYHSL_CHECK_GE(k, 1);
+  k = std::min(k, cols);
+  auto p = std::make_shared<CsrPattern>();
+  p->rows = rows;
+  p->cols = cols;
+  p->row_ptr.resize(rows + 1);
+  for (int64_t r = 0; r <= rows; ++r) p->row_ptr[r] = r * k;
+  p->col_idx.resize(rows * k);
+  // Insertion-select the k largest magnitudes per row. The buffer is held
+  // magnitude-descending and starts at -1, below every |v|, so the scan
+  // needs no fill-phase bookkeeping: the common case is one compare
+  // against the running k-th magnitude (`mag[k-1]`), and only the expected
+  // O(k log(cols/k)) improving candidates pay the shift. A strict > on an
+  // ascending column scan reproduces RowTopK's tie rule (equal magnitude
+  // keeps the lower column).
+  std::vector<float> mag(k);
+  std::vector<int64_t> idx(k);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    std::fill(mag.begin(), mag.end(), -1.0f);
+    for (int64_t c = 0; c < cols; ++c) {
+      float a = std::fabs(row[c]);
+      if (a <= mag[k - 1]) continue;
+      int64_t pos = k - 1;
+      while (pos > 0 && mag[pos - 1] < a) {
+        mag[pos] = mag[pos - 1];
+        idx[pos] = idx[pos - 1];
+        --pos;
+      }
+      mag[pos] = a;
+      idx[pos] = c;
+    }
+    int64_t* cidx = p->col_idx.data() + r * k;
+    std::copy(idx.begin(), idx.end(), cidx);
+    std::sort(cidx, cidx + k);
+    if (out_values != nullptr) {
+      for (int64_t i = 0; i < k; ++i) out_values[r * k + i] = row[cidx[i]];
+    }
+  }
+  BuildPatternTranspose(p.get());
+  return p;
+}
+
 Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
-  DYHSL_CHECK(x.dim() == 2 || x.dim() == 3);
-  bool batched = x.dim() == 3;
-  int64_t batch = batched ? x.size(0) : 1;
-  int64_t xrows = batched ? x.size(1) : x.size(0);
-  int64_t f = batched ? x.size(2) : x.size(1);
-  DYHSL_CHECK_MSG(xrows == a.cols(),
-                  "SpMM dim mismatch: A is " + std::to_string(a.rows()) + "x" +
-                      std::to_string(a.cols()) + ", X rows " +
-                      std::to_string(xrows));
-  Shape out_shape = batched ? Shape{batch, a.rows(), f} : Shape{a.rows(), f};
+  DenseDims d = CheckDense(x, a.cols(), "SpMM");
+  Shape out_shape = x.dim() == 3 ? Shape{d.batch, a.rows(), d.f}
+                                 : Shape{a.rows(), d.f};
   Tensor out(out_shape);
-  const int64_t* row_ptr = a.row_ptr().data();
-  const int64_t* col_idx = a.col_idx().data();
-  const float* vals = a.values().data();
-  const float* px = x.data();
+  SpMMCore(d.batch, a.rows(), a.row_ptr().data(), a.col_idx().data(),
+           a.values().data(), nullptr, x.data(), d.rows, d.f, 0.0f,
+           out.data());
+  return out;
+}
+
+void SpMMInto(const CsrMatrix& a, const Tensor& x, float beta, Tensor* out) {
+  DenseDims d = CheckDense(x, a.cols(), "SpMMInto");
+  Shape out_shape = x.dim() == 3 ? Shape{d.batch, a.rows(), d.f}
+                                 : Shape{a.rows(), d.f};
+  DYHSL_CHECK_MSG(out->shape() == out_shape,
+                  "SpMMInto: out shape " + ShapeToString(out->shape()) +
+                      " != expected " + ShapeToString(out_shape));
+  SpMMCore(d.batch, a.rows(), a.row_ptr().data(), a.col_idx().data(),
+           a.values().data(), nullptr, x.data(), d.rows, d.f, beta,
+           out->data());
+}
+
+Tensor SpMMPattern(const CsrPattern& p, const Tensor& values, const Tensor& x,
+                   bool trans_a) {
+  int64_t out_rows = trans_a ? p.cols : p.rows;
+  int64_t in_rows = trans_a ? p.rows : p.cols;
+  DenseDims d = CheckDense(x, in_rows, "SpMMPattern");
+  Shape out_shape = x.dim() == 3 ? Shape{d.batch, out_rows, d.f}
+                                 : Shape{out_rows, d.f};
+  Tensor out(out_shape);
+  SpMMPatternInto(p, values, x, trans_a, 0.0f, &out);
+  return out;
+}
+
+void SpMMPatternInto(const CsrPattern& p, const Tensor& values,
+                     const Tensor& x, bool trans_a, float beta, Tensor* out) {
+  DYHSL_CHECK_EQ(values.numel(), p.nnz());
+  int64_t out_rows = trans_a ? p.cols : p.rows;
+  int64_t in_rows = trans_a ? p.rows : p.cols;
+  DenseDims d = CheckDense(x, in_rows, "SpMMPatternInto");
+  Shape out_shape = x.dim() == 3 ? Shape{d.batch, out_rows, d.f}
+                                 : Shape{out_rows, d.f};
+  DYHSL_CHECK_MSG(out->shape() == out_shape,
+                  "SpMMPatternInto: out shape " + ShapeToString(out->shape()) +
+                      " != expected " + ShapeToString(out_shape));
+  if (trans_a) {
+    SpMMCore(d.batch, p.cols, p.t_row_ptr.data(), p.t_col_idx.data(),
+             values.data(), p.t_perm.data(), x.data(), d.rows, d.f, beta,
+             out->data());
+  } else {
+    SpMMCore(d.batch, p.rows, p.row_ptr.data(), p.col_idx.data(),
+             values.data(), nullptr, x.data(), d.rows, d.f, beta,
+             out->data());
+  }
+}
+
+void SpMMPatternSliceInto(const CsrPattern& p, const float* values,
+                          const float* x, int64_t f, bool trans_a, float beta,
+                          float* out) {
+  if (trans_a) {
+    SpMMCore(1, p.cols, p.t_row_ptr.data(), p.t_col_idx.data(), values,
+             p.t_perm.data(), x, p.rows, f, beta, out);
+  } else {
+    SpMMCore(1, p.rows, p.row_ptr.data(), p.col_idx.data(), values, nullptr,
+             x, p.cols, f, beta, out);
+  }
+}
+
+Tensor Sddmm(const CsrPattern& p, const Tensor& a, const Tensor& b) {
+  DenseDims da = CheckDense(a, p.rows, "Sddmm lhs");
+  DenseDims db = CheckDense(b, p.cols, "Sddmm rhs");
+  DYHSL_CHECK_EQ(a.dim(), b.dim());
+  DYHSL_CHECK_EQ(da.batch, db.batch);
+  DYHSL_CHECK_EQ(da.f, db.f);
+  Tensor out({p.nnz()});
+  const int64_t a_step = da.rows * da.f;
+  const int64_t b_step = db.rows * db.f;
+  // Parallel over A's rows; the batch reduction stays sequential per
+  // nonzero, so the sum order (and the bits) never depend on thread count.
+  const int64_t* row_ptr = p.row_ptr.data();
+  const int64_t* col_idx = p.col_idx.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
   float* po = out.data();
-  int64_t x_step = xrows * f;
-  int64_t o_step = a.rows() * f;
-  // The first nonzero initializes the output row (skipping a separate
-  // zero-fill pass over the whole output); the rest accumulate in CSR
-  // order, so the per-element accumulation sequence is unchanged.
-#pragma omp parallel for collapse(2) if (batch * a.nnz() * f > 16384)
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t r = 0; r < a.rows(); ++r) {
-      float* orow = po + b * o_step + r * f;
-      const int64_t k0 = row_ptr[r], k1 = row_ptr[r + 1];
-      if (k0 == k1) {
-        for (int64_t c = 0; c < f; ++c) orow[c] = 0.0f;
-        continue;
+  const int64_t d = da.f;
+  const int64_t batch = da.batch;
+#pragma omp parallel for if (p.nnz() * d * batch > 16384)
+  for (int64_t r = 0; r < p.rows; ++r) {
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const int64_t c = col_idx[k];
+      float acc = 0.0f;
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        const float* arow = pa + bi * a_step + r * d;
+        const float* brow = pb + bi * b_step + c * d;
+        for (int64_t j = 0; j < d; ++j) acc += arow[j] * brow[j];
       }
-      {
-        const float v = vals[k0];
-        const float* xrow = px + b * x_step + col_idx[k0] * f;
-        for (int64_t c = 0; c < f; ++c) orow[c] = v * xrow[c];
-      }
-      for (int64_t k = k0 + 1; k < k1; ++k) {
-        const float v = vals[k];
-        const float* xrow = px + b * x_step + col_idx[k] * f;
-        for (int64_t c = 0; c < f; ++c) orow[c] += v * xrow[c];
-      }
+      po[k] = acc;
     }
   }
   return out;
+}
+
+void SddmmSliceInto(const CsrPattern& p, const float* a, const float* b,
+                    int64_t d, float beta, float* out_values) {
+  const int64_t* row_ptr = p.row_ptr.data();
+  const int64_t* col_idx = p.col_idx.data();
+#pragma omp parallel for if (p.nnz() * d > 16384)
+  for (int64_t r = 0; r < p.rows; ++r) {
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const float* arow = a + r * d;
+      const float* brow = b + col_idx[k] * d;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < d; ++j) acc += arow[j] * brow[j];
+      out_values[k] = (beta == 0.0f ? 0.0f : beta * out_values[k]) + acc;
+    }
+  }
+}
+
+namespace {
+
+// Rescales the kept entries of one row so the row sum is preserved.
+// Rows whose kept sum is not positive are left unscaled: renormalization
+// targets stochastic (nonnegative) matrices, where a nonpositive kept sum
+// only occurs for all-zero rows.
+void RenormalizeRow(std::vector<Triplet>* triplets, size_t row_begin,
+                    double original_sum) {
+  double kept = 0.0;
+  for (size_t i = row_begin; i < triplets->size(); ++i) {
+    kept += (*triplets)[i].value;
+  }
+  if (kept <= 0.0) return;
+  float scale = static_cast<float>(original_sum / kept);
+  for (size_t i = row_begin; i < triplets->size(); ++i) {
+    (*triplets)[i].value *= scale;
+  }
+}
+
+}  // namespace
+
+CsrMatrix RowTopKSlice(const float* data, int64_t rows, int64_t cols,
+                       int64_t k, bool renormalize) {
+  DYHSL_CHECK_GE(k, 1);
+  k = std::min(k, cols);
+  std::vector<Triplet> triplets;
+  triplets.reserve(rows * k);
+  std::vector<int64_t> order(cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    std::iota(order.begin(), order.end(), int64_t{0});
+    // Largest magnitude first; equal magnitudes break toward the lower
+    // column index, making the selection deterministic.
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [row](int64_t i, int64_t j) {
+                        float ai = std::fabs(row[i]), aj = std::fabs(row[j]);
+                        return ai != aj ? ai > aj : i < j;
+                      });
+    std::sort(order.begin(), order.begin() + k);
+    size_t row_begin = triplets.size();
+    double row_sum = 0.0;
+    if (renormalize) {
+      for (int64_t c = 0; c < cols; ++c) row_sum += row[c];
+    }
+    for (int64_t i = 0; i < k; ++i) {
+      triplets.push_back({r, order[i], row[order[i]]});
+    }
+    if (renormalize) RenormalizeRow(&triplets, row_begin, row_sum);
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+CsrMatrix RowTopK(const Tensor& dense, int64_t k, bool renormalize) {
+  DYHSL_CHECK_EQ(dense.dim(), 2);
+  return RowTopKSlice(dense.data(), dense.size(0), dense.size(1), k,
+                      renormalize);
+}
+
+CsrMatrix RowThreshold(const Tensor& dense, float threshold,
+                       bool renormalize) {
+  DYHSL_CHECK_EQ(dense.dim(), 2);
+  const int64_t rows = dense.size(0), cols = dense.size(1);
+  const float* data = dense.data();
+  std::vector<Triplet> triplets;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    size_t row_begin = triplets.size();
+    double row_sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (renormalize) row_sum += row[c];
+      if (std::fabs(row[c]) >= threshold) triplets.push_back({r, c, row[c]});
+    }
+    if (renormalize) RenormalizeRow(&triplets, row_begin, row_sum);
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
 }
 
 }  // namespace dyhsl::tensor

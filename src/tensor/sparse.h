@@ -1,9 +1,28 @@
-// Compressed-sparse-row matrix and sparse x dense kernels.
+// Compressed-sparse-row matrices and the sparse kernel family.
 //
-// The temporal graph of DyHSL (paper Eq. 4) and all baseline graph
-// convolutions multiply a fixed sparse adjacency against dense feature
-// matrices, so CSR with a precomputed transpose (needed by autograd:
-// d/dX [A X] pulls gradients through A^T) is the core sparse structure.
+// The structure operators of DyHSL are sparse at heart: the temporal graph
+// Ā of paper Eq. 4–5 is a normalized road adjacency, the predefined
+// hypergraph propagation G = D_v⁻¹ Λ D_e⁻¹ Λᵀ is a product of sparse
+// incidences, and the learned incidence Λ is effectively sparse after
+// normalization. This header provides the kernels the execution stack runs
+// those operators on without densifying:
+//
+//  * CsrMatrix        — immutable structure + values (graphs, hypergraphs)
+//  * SpMM / SpMMInto  — sparse × dense with batch support and beta
+//                       accumulate modes (beta=1 writes straight into
+//                       autograd gradient buffers)
+//  * CsrPattern       — structure-only pattern with a precomputed transpose
+//                       and the value permutation linking the two, shared
+//                       by ops whose values change every step (learned Λ)
+//  * Sddmm            — sampled dense-dense matmul, the VJP w.r.t. sparse
+//                       values of an SpMM
+//  * RowTopK / RowThreshold — deterministic sparsification of a dense
+//                       matrix into CSR
+//
+// All kernels parallelize over output rows only, so results are
+// bit-identical for every OpenMP thread count; outputs are allocated
+// through Tensor and therefore land on the step Workspace arena whenever a
+// scope is active.
 
 #ifndef DYHSL_TENSOR_SPARSE_H_
 #define DYHSL_TENSOR_SPARSE_H_
@@ -46,6 +65,9 @@ class CsrMatrix {
   /// \brief Transposed copy (CSR of A^T).
   CsrMatrix Transposed() const;
 
+  /// \brief Same structure, new values (`values.size()` must equal nnz).
+  CsrMatrix WithValues(std::vector<float> values) const;
+
   /// \brief Returns a copy whose rows sum to 1 (zero rows left untouched).
   /// This is the normalization the paper uses for the temporal graph
   /// (sum_j A_bar(v, u) = 1 below Eq. 5).
@@ -68,9 +90,95 @@ class CsrMatrix {
   std::vector<float> values_;
 };
 
+/// \brief Structure-only CSR pattern with a precomputed transpose and the
+/// value permutation between them. Shared (immutably, via shared_ptr) by
+/// ops whose values change every step while the sparsity stays fixed — the
+/// taped sparse-values ops in src/autograd/sparse.h run both the forward
+/// product and the transposed backward product against one pattern without
+/// rebuilding structure.
+struct CsrPattern {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  /// A structure (row-major CSR).
+  std::vector<int64_t> row_ptr;
+  std::vector<int64_t> col_idx;
+  /// A^T structure; the value of A^T at slot k is values[t_perm[k]].
+  std::vector<int64_t> t_row_ptr;
+  std::vector<int64_t> t_col_idx;
+  std::vector<int64_t> t_perm;
+
+  int64_t nnz() const { return static_cast<int64_t>(col_idx.size()); }
+
+  /// \brief Extracts the structure of `m` (values ignored).
+  static std::shared_ptr<const CsrPattern> FromCsr(const CsrMatrix& m);
+};
+
 /// \brief Sparse-dense product  A (rows x cols)  *  X (cols x f)  ->
 /// (rows x f). X may also be 3-D (batch, cols, f) giving (batch, rows, f).
 Tensor SpMM(const CsrMatrix& a, const Tensor& x);
+
+/// \brief out = A X + beta * out. `out` must be preallocated to the SpMM
+/// result shape; beta 0 overwrites (out may be uninitialized), any other
+/// beta scales the existing contents first. beta=1 accumulates straight
+/// into autograd gradient buffers, mirroring the dense MatMulInto path.
+void SpMMInto(const CsrMatrix& a, const Tensor& x, float beta, Tensor* out);
+
+/// \brief Pattern + external values product: y = op(A) X where A has the
+/// structure of `p` and the values of `values` (length nnz). With
+/// `trans_a` the product runs against the precomputed transpose, reading
+/// values through the pattern's permutation. X 2-D or 3-D batched.
+Tensor SpMMPattern(const CsrPattern& p, const Tensor& values, const Tensor& x,
+                   bool trans_a = false);
+
+/// \brief out = op(A) X + beta * out variant of SpMMPattern.
+void SpMMPatternInto(const CsrPattern& p, const Tensor& values,
+                     const Tensor& x, bool trans_a, float beta, Tensor* out);
+
+/// \brief Raw single-slice building block for per-batch sparse ops:
+/// out (out_rows x f) = op(A) x (+ beta * out) over bare pointers, where
+/// x has op(A).cols() rows of width f.
+void SpMMPatternSliceInto(const CsrPattern& p, const float* values,
+                          const float* x, int64_t f, bool trans_a, float beta,
+                          float* out);
+
+/// \brief Sampled dense-dense matmul: out[k] = dot(a[row_k, :], b[col_k, :])
+/// for every structural nonzero k of the pattern — the VJP of SpMM w.r.t.
+/// the sparse values. a is (rows, d) or (B, rows, d), b is (cols, d) or
+/// (B, cols, d) with matching batch; batched inputs are summed over the
+/// batch. Returns a dense (nnz) tensor.
+Tensor Sddmm(const CsrPattern& p, const Tensor& a, const Tensor& b);
+
+/// \brief Raw single-slice SDDMM: out_values[k] = beta * out_values[k] +
+/// dot(a[row_k, :], b[col_k, :]) with a (rows x d), b (cols x d).
+void SddmmSliceInto(const CsrPattern& p, const float* a, const float* b,
+                    int64_t d, float beta, float* out_values);
+
+/// \brief Sparsifies a dense matrix to its k largest-magnitude entries per
+/// row (deterministic ties: the lower column index wins), k clamped to the
+/// column count. With `renormalize`, kept entries of each row are rescaled
+/// to preserve the row's original sum (so row-stochastic matrices stay
+/// row-stochastic); rows whose kept sum is not positive are left unscaled.
+CsrMatrix RowTopK(const Tensor& dense, int64_t k, bool renormalize = false);
+
+/// \brief Raw variant of RowTopK over a (rows x cols) row-major buffer.
+CsrMatrix RowTopKSlice(const float* data, int64_t rows, int64_t cols,
+                       int64_t k, bool renormalize = false);
+
+/// \brief One-pass top-k sparsification straight to a CsrPattern — the
+/// per-step hot path of the DHSL sparse mode. Selection semantics match
+/// RowTopK (largest magnitude, ties toward the lower column); every row
+/// keeps exactly min(k, cols) entries so row_ptr is implicit. When
+/// `out_values` is non-null it receives the kept entries (length
+/// rows * min(k, cols)) in pattern order.
+std::shared_ptr<const CsrPattern> RowTopKPattern(const float* data,
+                                                 int64_t rows, int64_t cols,
+                                                 int64_t k,
+                                                 float* out_values = nullptr);
+
+/// \brief Keeps entries with |value| >= threshold (rows may become empty).
+/// `renormalize` as in RowTopK.
+CsrMatrix RowThreshold(const Tensor& dense, float threshold,
+                       bool renormalize = false);
 
 /// \brief CSR matrix bundled with its transpose so autograd can run the
 /// backward product without rebuilding structure every step.

@@ -15,6 +15,7 @@
 #include "src/autograd/ops.h"
 #include "src/baselines/classical.h"
 #include "src/data/dataset.h"
+#include "src/hypergraph/hypergraph.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/ops.h"
 #include "src/train/model_zoo.h"
@@ -211,6 +212,46 @@ TEST(VarTest, UsesCrossSensorInformation) {
   auto m = baselines::EvaluateClassical(&var, ds, ds.val_range(), 30);
   EXPECT_GT(m.mae, 0.0);
   EXPECT_LT(m.mae, 100.0);
+}
+
+// Largest |a - b| relative to the magnitude of `b` (floored at 1).
+float MaxRelDiff(const T::Tensor& a, const T::Tensor& b) {
+  float scale = 1.0f;
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    scale = std::max(scale, std::fabs(b.data()[i]));
+  }
+  return dyhsl::testing::MaxAbsDiff(a, b) / scale;
+}
+
+// Sparse-vs-dense forward agreement (<= 1e-4 rel) for the structure
+// operators two sparse-path baselines actually run — STGCN's symmetric
+// normalized road adjacency and HGC-RNN's factored district-hypergraph
+// propagation — at the models' (B*T, N, C) working shapes.
+TEST(SparsePathAgreementTest, StgcnSymAdjMatchesDenseReference) {
+  ForecastTask task = ForecastTask::FromDataset(SharedDataset());
+  ag::SparseConstant op(task.spatial_adj.WithSelfLoops().SymNormalized());
+  T::Tensor dense = op.matrix().ToDense();
+  Rng rng(17);
+  ag::Variable x(
+      T::Tensor::Randn({2 * task.history, task.num_nodes, 16}, &rng));
+  T::Tensor via_sparse = ag::SpMM(op, x).value();
+  T::Tensor via_dense = ag::BatchedMatMul(ag::Variable(dense), x).value();
+  EXPECT_LE(MaxRelDiff(via_sparse, via_dense), 1e-4f);
+}
+
+TEST(SparsePathAgreementTest, HgcRnnFactoredHypergraphMatchesDenseReference) {
+  ForecastTask task = ForecastTask::FromDataset(SharedDataset());
+  hypergraph::Hypergraph hg =
+      hypergraph::Hypergraph::FromCommunities(task.district_labels);
+  hypergraph::FactoredIncidence f = hg.FactoredOperator();
+  // Dense reference: the materialized product operator as one GEMM.
+  T::Tensor g_dense = hg.NormalizedOperator().matrix().ToDense();
+  Rng rng(18);
+  ag::Variable x(T::Tensor::Randn({3, task.num_nodes, 16}, &rng));
+  T::Tensor via_sparse =
+      ag::SpMM(f.edge_to_node, ag::SpMM(f.node_to_edge, x)).value();
+  T::Tensor via_dense = ag::BatchedMatMul(ag::Variable(g_dense), x).value();
+  EXPECT_LE(MaxRelDiff(via_sparse, via_dense), 1e-4f);
 }
 
 TEST(ModelZooTest, KeysAreUniqueAndConstructible) {

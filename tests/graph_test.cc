@@ -1,6 +1,7 @@
 // Tests for graph / temporal-graph / hypergraph substrates, including the
 // structural properties Eq. 4 requires of the temporal graph.
 
+#include <cmath>
 #include <memory>
 #include <set>
 #include <vector>
@@ -93,7 +94,7 @@ TEST(TemporalGraphTest, PaperVariantIsForwardOnly) {
 TEST(TemporalGraphTest, NormalizedRowsSumToOne) {
   Graph g = PathGraph(4);
   auto op = BuildNormalizedTemporalOp(g.ToAdjacency(), 3);
-  T::Tensor dense = op->forward.ToDense();
+  T::Tensor dense = op.matrix().ToDense();
   EXPECT_TRUE(dyhsl::testing::RowStochastic(dense, 1e-5f));
 }
 
@@ -135,16 +136,76 @@ TEST(HypergraphTest, FromCommunitiesIncidence) {
 
 TEST(HypergraphTest, NormalizedOperatorRowsSumToOne) {
   Hypergraph h = Hypergraph::FromCommunities({0, 0, 1, 1, 1, 2});
-  T::Tensor g = h.NormalizedOperator()->forward.ToDense();
+  T::Tensor g = h.NormalizedOperator().matrix().ToDense();
   EXPECT_TRUE(dyhsl::testing::RowStochastic(g, 1e-5f));
 }
 
 TEST(HypergraphTest, OperatorMixesOnlyWithinHyperedge) {
   Hypergraph h = Hypergraph::FromCommunities({0, 0, 1, 1});
-  T::Tensor g = h.NormalizedOperator()->forward.ToDense();
+  T::Tensor g = h.NormalizedOperator().matrix().ToDense();
   EXPECT_GT(g.At({0, 1}), 0.0f);
   EXPECT_EQ(g.At({0, 2}), 0.0f);
   EXPECT_EQ(g.At({3, 1}), 0.0f);
+}
+
+TEST(HypergraphTest, FactoredOperatorMatchesProductOperator) {
+  // D_v^-1 Λ (D_e^-1 Λ^T x) must equal the materialized G x — same math,
+  // two SpMMs instead of O(sum |e|^2) nonzeros.
+  Hypergraph h = Hypergraph::FromCommunities({0, 0, 1, 1, 1, 2, 2, 0});
+  FactoredIncidence f = h.FactoredOperator();
+  T::Tensor product = h.NormalizedOperator().matrix().ToDense();
+  T::Tensor via_factors =
+      T::MatMul(f.edge_to_node.matrix().ToDense(),
+                f.node_to_edge.matrix().ToDense());
+  EXPECT_TENSOR_NEAR(via_factors, product, 1e-6f);
+}
+
+TEST(HypergraphTest, EmptyHyperedgeProducesNoPropagationAndNoNan) {
+  // Incidence declares 3 hyperedges but only edges 0 and 2 have members:
+  // the degenerate D_e^-1 scaling of edge 1 must be skipped, not 1/0.
+  T::CsrMatrix inc = T::CsrMatrix::FromTriplets(
+      4, 3, {{0, 0, 1.0f}, {1, 0, 1.0f}, {2, 2, 1.0f}, {3, 2, 1.0f}});
+  Hypergraph h(4, 3, inc);
+  for (const T::Tensor& m : {h.NormalizedOperator().matrix().ToDense(),
+                             h.FactoredOperator().node_to_edge.matrix()
+                                 .ToDense(),
+                             h.FactoredOperator().edge_to_node.matrix()
+                                 .ToDense()}) {
+    for (int64_t i = 0; i < m.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(m.data()[i])) << "index " << i;
+    }
+  }
+  // The empty hyperedge's row of D_e^-1 Λ^T stays empty.
+  T::Tensor n2e = h.FactoredOperator().node_to_edge.matrix().ToDense();
+  for (int64_t v = 0; v < 4; ++v) EXPECT_EQ(n2e.At({1, v}), 0.0f);
+}
+
+TEST(HypergraphTest, IsolatedNodeStaysIsolatedWithoutNan) {
+  // Node 3 joins no hyperedge: its operator row must be all zero (the
+  // zero-row contract of RowNormalized) and nothing may divide by its
+  // zero degree.
+  T::CsrMatrix inc = T::CsrMatrix::FromTriplets(
+      4, 2, {{0, 0, 1.0f}, {1, 0, 1.0f}, {2, 1, 1.0f}});
+  Hypergraph h(4, 2, inc);
+  T::Tensor g = h.NormalizedOperator().matrix().ToDense();
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(g.data()[i]));
+  }
+  for (int64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.At({3, v}), 0.0f);
+    EXPECT_EQ(g.At({v, 3}), 0.0f);
+  }
+  EXPECT_TRUE(
+      dyhsl::testing::RowStochastic(g, 1e-5f, /*allow_zero_rows=*/true));
+  // Propagating features through the factored form stays finite too.
+  FactoredIncidence f = h.FactoredOperator();
+  Rng rng(11);
+  T::Tensor x = T::Tensor::Randn({4, 5}, &rng);
+  T::Tensor y = T::SpMM(f.edge_to_node.matrix(),
+                        T::SpMM(f.node_to_edge.matrix(), x));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
 }
 
 TEST(KMeansTest, SeparatesObviousClusters) {

@@ -245,6 +245,73 @@ TEST(ForecastEngineTest, SubmitAfterShutdownFails) {
   EXPECT_FALSE(after.status.ok());
 }
 
+TEST(ForecastEngineTest, CreateValidatesMaxQueue) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions bad;
+  bad.max_queue = -1;
+  EXPECT_FALSE(ForecastEngine::Create(task, TinyConfig(), "", bad).ok());
+}
+
+TEST(ForecastEngineTest, MaxQueueShedsLoadWithUnavailable) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  // A huge flush delay keeps everything queued while this thread floods
+  // past the admission limit.
+  options.max_batch = 64;
+  options.max_delay_us = 1000000;
+  options.max_queue = 3;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 3);
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  int64_t rejected = 0;
+  int64_t served = 0;
+  engine->Shutdown();  // flush the admitted requests
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    if (response.status.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  // A worker may have drained some of the queue between submits, so the
+  // exact split varies — but admitted requests are served and everything
+  // past the limit is shed with kUnavailable, never a broken promise.
+  EXPECT_GT(served, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(served + rejected, 8);
+  EXPECT_EQ(engine->stats().rejected, rejected);
+}
+
+TEST(ForecastEngineTest, ServesSparseTopKModelGradFree) {
+  // The engine must serve a sparse-structure DyHSL (top-k Λ mode) with
+  // responses matching the direct grad-free forward.
+  train::ForecastTask task = RingForecastTask(10, 12);
+  models::DyHslConfig config = TinyConfig();
+  config.sparse_topk = 2;
+  auto engine =
+      std::move(ForecastEngine::Create(task, config)).ValueOrDie();
+  T::Tensor window = RandomWindow(task, 4);
+  ForecastResponse response =
+      engine->Submit(ForecastRequest{window.Clone()}).get();
+  ASSERT_TRUE(response.status.ok());
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor direct =
+      engine->mutable_model()
+          ->Forward(window.Reshape({1, task.history, task.num_nodes,
+                                    task.input_dim}),
+                    false)
+          .value()
+          .Reshape({task.horizon, task.num_nodes});
+  EXPECT_TRUE(dyhsl::testing::TensorEq(response.forecast, direct));
+}
+
 TEST(ForecastEngineTest, ShutdownDrainsQueuedRequests) {
   train::ForecastTask task = RingForecastTask(8, 12);
   EngineOptions options;
