@@ -101,7 +101,7 @@ int main() {
     }
     std::printf("\n");
   }
-  serve::EngineStats stats = engine->stats();
+  serve::EngineStats stats = engine->Snapshot();
   std::printf("served %lld requests in %lld batches (largest %lld)\n",
               static_cast<long long>(stats.requests),
               static_cast<long long>(stats.batches),

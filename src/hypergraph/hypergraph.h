@@ -74,6 +74,20 @@ class Hypergraph {
   /// The same zero-degree guards apply.
   FactoredIncidence FactoredOperator() const;
 
+  /// \brief Sub-hypergraph induced on `nodes` (global node ids, which
+  /// become local ids 0..|nodes|-1 in order): incidence rows are restricted
+  /// to the kept nodes while every hyperedge id survives, so hyperedges
+  /// whose members all fall outside the shard become empty — and the
+  /// zero-degree guards of NormalizedOperator / FactoredOperator make
+  /// empty hyperedges propagate nothing rather than divide by zero.
+  /// Note the label-derived baselines (HGC-RNN) don't need this: their
+  /// shard models rebuild FromCommunities over ShardTask's gathered
+  /// district labels, which induces the same structure minus the empty
+  /// edges. Induced is for hypergraphs that exist only as incidence
+  /// (k-means/kNN-built, or externally supplied) where hyperedge ids
+  /// must stay aligned across shards.
+  Hypergraph Induced(const std::vector<int64_t>& nodes) const;
+
  private:
   int64_t num_nodes_ = 0;
   int64_t num_edges_ = 0;

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/tensor/workspace.h"
-#include "src/train/checkpoint.h"
 
 namespace dyhsl::serve {
 namespace {
@@ -19,10 +19,28 @@ double MicrosSince(Clock::time_point start, Clock::time_point now) {
   return std::chrono::duration<double, std::micro>(now - start).count();
 }
 
+// How fast the adaptive batch target tracks the observed queue depth.
+// 0.25 reaches a sustained burst's depth within ~10 flushes while a
+// single spike barely moves the target.
+constexpr double kDepthEwmaWeight = 0.25;
+
 }  // namespace
 
+ModelFactory DyHslFactory(const models::DyHslConfig& config) {
+  return [config](const train::ForecastTask& task) {
+    return std::make_unique<models::DyHsl>(task, config);
+  };
+}
+
+ModelFactory ZooFactory(const std::string& key,
+                        const train::ZooConfig& config) {
+  return [key, config](const train::ForecastTask& task) {
+    return train::MakeNeuralModel(key, task, config);
+  };
+}
+
 Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
-    const train::ForecastTask& task, const models::DyHslConfig& config,
+    const train::ForecastTask& task, const ModelFactory& factory,
     const std::string& checkpoint_path, const EngineOptions& options) {
   if (options.max_batch < 1) {
     return Status::InvalidArgument("EngineOptions.max_batch must be >= 1");
@@ -36,14 +54,26 @@ Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
   if (options.max_queue < 0) {
     return Status::InvalidArgument("EngineOptions.max_queue must be >= 0");
   }
-  // The constructor builds the model, which pre-computes the normalized
-  // temporal operator of every pooling scale — the expensive part of
-  // bring-up, paid exactly once.
+  if (!factory) {
+    return Status::InvalidArgument("ForecastEngine needs a model factory");
+  }
+  // The factory builds the model, which pre-computes its sparse structure
+  // operators — the expensive part of bring-up, paid exactly once.
+  std::unique_ptr<train::ForecastModel> model = factory(task);
+  if (model == nullptr) {
+    return Status::InvalidArgument("model factory returned null");
+  }
   std::unique_ptr<ForecastEngine> engine(
-      new ForecastEngine(task, config, options));
+      new ForecastEngine(task, std::move(model), options));
   if (!checkpoint_path.empty()) {
+    auto* module = dynamic_cast<nn::Module*>(engine->model_.get());
+    if (module == nullptr) {
+      return Status::InvalidArgument(
+          "model '" + engine->model_->name() +
+          "' is not an nn::Module; cannot load " + checkpoint_path);
+    }
     DYHSL_RETURN_NOT_OK(
-        train::LoadCheckpoint(engine->model_.get(), checkpoint_path));
+        train::LoadCheckpoint(module, checkpoint_path, &engine->shard_meta_));
   }
   for (int64_t w = 0; w < options.num_workers; ++w) {
     engine->workers_.emplace_back([raw = engine.get()] { raw->WorkerLoop(); });
@@ -51,12 +81,18 @@ Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
   return engine;
 }
 
+Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
+    const train::ForecastTask& task, const models::DyHslConfig& config,
+    const std::string& checkpoint_path, const EngineOptions& options) {
+  return Create(task, DyHslFactory(config), checkpoint_path, options);
+}
+
 ForecastEngine::ForecastEngine(const train::ForecastTask& task,
-                               const models::DyHslConfig& config,
+                               std::unique_ptr<train::ForecastModel> model,
                                const EngineOptions& options)
-    : task_(task),
-      options_(options),
-      model_(std::make_unique<models::DyHsl>(task, config)) {}
+    : task_(task), options_(options), model_(std::move(model)) {
+  stats_.effective_max_batch = options_.max_batch;
+}
 
 ForecastEngine::~ForecastEngine() { Shutdown(); }
 
@@ -122,9 +158,11 @@ std::future<ForecastResponse> ForecastEngine::Submit(ForecastRequest request) {
   return future;
 }
 
-EngineStats ForecastEngine::stats() const {
+EngineStats ForecastEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  EngineStats snapshot = stats_;
+  snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+  return snapshot;
 }
 
 void ForecastEngine::WorkerLoop() {
@@ -141,13 +179,52 @@ void ForecastEngine::WorkerLoop() {
         if (stopping_) return;
         continue;
       }
-      // Micro-batching: hold the flush until the batch is full or the
+      // Latency-aware dynamic batching: the flush target follows the
+      // queue depth the engine has actually been seeing, so a shallow
+      // queue is served the moment it arrives instead of waiting
+      // max_delay_us for slots that history says will stay empty.
+      const auto effective_target = [this] {
+        return std::min<int64_t>(
+            options_.max_batch,
+            std::max<int64_t>(1, static_cast<int64_t>(
+                                     std::ceil(depth_ewma_ - 1e-9))));
+      };
+      int64_t effective = options_.max_batch;
+      if (options_.adaptive_batch) {
+        depth_ewma_ =
+            (1.0 - kDepthEwmaWeight) * depth_ewma_ +
+            kDepthEwmaWeight * static_cast<double>(queue_.size());
+        effective = effective_target();
+        stats_.effective_max_batch = effective;
+      }
+      // Micro-batching: hold the flush until the target is reached or the
       // oldest request has aged past max_delay_us. Shutdown flushes
       // immediately.
       const Clock::time_point deadline = queue_.front().enqueued + max_delay;
+      bool timed_out = false;
       while (!stopping_ && !queue_.empty() &&
-             static_cast<int64_t>(queue_.size()) < options_.max_batch) {
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+             static_cast<int64_t>(queue_.size()) < effective) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          timed_out = true;
+          break;
+        }
+      }
+      if (options_.adaptive_batch && timed_out && !queue_.empty() &&
+          static_cast<int64_t>(queue_.size()) < effective) {
+        // (The !empty() guard matters with several workers: a peer may
+        // have drained the queue while this one slept — that is not
+        // evidence traffic went shallow, just that the peer won the
+        // race, so only a genuinely under-filled wait collapses.)
+        // The full delay elapsed without the target filling: that is hard
+        // evidence traffic has gone shallow, so collapse the estimate to
+        // what actually arrived instead of letting it decay over many
+        // flushes — after a burst, a lone client pays at most one delay
+        // window before the engine is serving it immediately again.
+        depth_ewma_ = std::min(
+            depth_ewma_,
+            static_cast<double>(std::max<int64_t>(
+                1, static_cast<int64_t>(queue_.size()))));
+        stats_.effective_max_batch = effective_target();
       }
       // Another worker may have drained the queue while this one waited
       // (wait_until releases the lock) — go back to sleep, don't flush

@@ -1,26 +1,33 @@
 // Batched forecast-serving engine.
 //
 // ForecastEngine is the query-time counterpart of the training harness:
-// it builds one DyHSL model (whose constructor pre-computes and caches
-// the normalized temporal operator of every pooling scale), loads a
+// it builds one ForecastModel through a ModelFactory (model construction
+// pre-computes and caches the sparse structure operators), loads a
 // checkpoint once, keeps the ForecastTask scaler for de-normalization,
 // and serves Submit() requests from a micro-batching queue. Worker
 // threads collect concurrent requests and flush them as one (B, T, N, F)
 // grad-free forward — tape-less (autograd::InferenceModeGuard) and
-// allocated from a warm per-worker Workspace arena — when either
-// `max_batch` requests are waiting or the oldest has waited
-// `max_delay_us` microseconds.
+// allocated from a warm per-worker Workspace arena — when either the
+// effective batch target is reached or the oldest request has waited
+// `max_delay_us` microseconds. With `adaptive_batch` the target tracks
+// the observed queue depth, so a shallow queue flushes immediately
+// instead of paying the full delay for batch slots that never fill.
 //
 // Model forwards are read-only in inference mode, so any number of
 // workers may share the one model; every per-request quantity lives in
 // the request/response structs. Responses are heap-backed (never
 // arena-backed) so they stay valid for as long as the caller keeps them.
+//
+// An engine serves exactly one (model, sensor range); a fleet of engines
+// behind a ForecastRouter (src/serve/router.h) serves many models and
+// sharded networks.
 
 #ifndef DYHSL_SERVE_ENGINE_H_
 #define DYHSL_SERVE_ENGINE_H_
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -31,9 +38,25 @@
 #include "src/core/status.h"
 #include "src/models/dyhsl.h"
 #include "src/tensor/tensor.h"
+#include "src/train/checkpoint.h"
 #include "src/train/forecast_model.h"
+#include "src/train/model_zoo.h"
 
 namespace dyhsl::serve {
+
+/// \brief Builds the model an engine owns, given the (possibly
+/// shard-scoped) task it must serve. The factory is invoked exactly once
+/// per engine, at Create time.
+using ModelFactory = std::function<std::unique_ptr<train::ForecastModel>(
+    const train::ForecastTask&)>;
+
+/// \brief Factory for a DyHSL model with the given config.
+ModelFactory DyHslFactory(const models::DyHslConfig& config);
+
+/// \brief Factory for any model-zoo key ("STGCN", "DCRNN", "DyHSL", ...;
+/// see train::MakeNeuralModel).
+ModelFactory ZooFactory(const std::string& key,
+                        const train::ZooConfig& config = train::ZooConfig());
 
 /// \brief One forecast query: a single scaled input window (T, N, F) in
 /// the feature layout produced by TrafficDataset::MakeInput.
@@ -68,24 +91,47 @@ struct EngineOptions {
   /// kUnavailable Status instead of growing the queue without bound.
   /// 0 keeps the queue unbounded.
   int64_t max_queue = 0;
+  /// Latency-aware dynamic batching: track an exponential moving average
+  /// of the queue depth seen at flush time and cap each flush's wait
+  /// target at that depth (>= 1, <= max_batch). A single-stream client
+  /// then never waits max_delay_us for batch slots that cannot fill,
+  /// while bursts still pack toward max_batch.
+  bool adaptive_batch = false;
 };
 
-/// \brief Aggregate serving counters (monotonic since engine start).
+/// \brief Aggregate serving counters (monotonic since engine start except
+/// where noted). Always read as one consistent Snapshot() — the fields
+/// are updated together under the engine mutex and must never be observed
+/// mid-flush.
 struct EngineStats {
   int64_t requests = 0;
   int64_t batches = 0;
   int64_t max_batch_observed = 0;
   /// Submissions rejected by max_queue admission control.
   int64_t rejected = 0;
+  /// Current flush target: max_batch, or the adaptive estimate when
+  /// EngineOptions::adaptive_batch is on.
+  int64_t effective_max_batch = 0;
+  /// Requests waiting at snapshot time (not monotonic).
+  int64_t queue_depth = 0;
 };
 
 /// \brief Loads a model + checkpoint once and serves batched grad-free
 /// forecasts. Thread-safe: Submit may be called from any thread.
 class ForecastEngine {
  public:
-  /// \brief Builds the DyHSL model for `task` / `config` and, when
-  /// `checkpoint_path` is non-empty, restores its parameters from disk.
-  /// Fails (rather than aborts) on unreadable or mismatched checkpoints.
+  /// \brief Builds the model for `task` through `factory` and, when
+  /// `checkpoint_path` is non-empty, restores its parameters from disk
+  /// (the model must then be an nn::Module). Fails (rather than aborts)
+  /// on unreadable or mismatched checkpoints.
+  static Result<std::unique_ptr<ForecastEngine>> Create(
+      const train::ForecastTask& task, const ModelFactory& factory,
+      const std::string& checkpoint_path = "",
+      const EngineOptions& options = EngineOptions());
+
+  /// \brief Convenience overload: a DyHSL model from `config` (whose
+  /// constructor pre-computes the normalized temporal operator of every
+  /// pooling scale).
   static Result<std::unique_ptr<ForecastEngine>> Create(
       const train::ForecastTask& task, const models::DyHslConfig& config,
       const std::string& checkpoint_path = "",
@@ -108,12 +154,19 @@ class ForecastEngine {
   void Shutdown();
 
   const train::ForecastTask& task() const { return task_; }
-  const models::DyHsl& model() const { return *model_; }
-  /// Non-const access for analysis paths (Forward/IncidenceFor are
-  /// non-const overrides); do not mutate parameters while serving.
-  models::DyHsl* mutable_model() { return model_.get(); }
+  const train::ForecastModel& model() const { return *model_; }
+  /// Non-const access for analysis paths (Forward is a non-const
+  /// override); do not mutate parameters while serving.
+  train::ForecastModel* mutable_model() { return model_.get(); }
   const EngineOptions& options() const { return options_; }
-  EngineStats stats() const;
+  /// Shard metadata of the loaded checkpoint (unsharded when the engine
+  /// was created without one, or from a version-1/2 file).
+  const train::ShardMeta& shard_meta() const { return shard_meta_; }
+
+  /// \brief One consistent view of every counter, taken under the engine
+  /// mutex — a reader can never observe a batch's `requests` without its
+  /// `batches` increment or tear `effective_max_batch` mid-flush.
+  EngineStats Snapshot() const;
 
  private:
   struct Pending {
@@ -123,7 +176,7 @@ class ForecastEngine {
   };
 
   ForecastEngine(const train::ForecastTask& task,
-                 const models::DyHslConfig& config,
+                 std::unique_ptr<train::ForecastModel> model,
                  const EngineOptions& options);
 
   void WorkerLoop();
@@ -132,13 +185,16 @@ class ForecastEngine {
 
   train::ForecastTask task_;
   EngineOptions options_;
-  std::unique_ptr<models::DyHsl> model_;
+  std::unique_ptr<train::ForecastModel> model_;
+  train::ShardMeta shard_meta_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
   EngineStats stats_;
+  /// EWMA of queue depth at flush (adaptive_batch mode), under mu_.
+  double depth_ewma_ = 1.0;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,369 @@
+#include "src/serve/router.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/train/checkpoint.h"
+
+namespace dyhsl::serve {
+
+Result<std::unique_ptr<ForecastRouter>> ForecastRouter::Create(
+    const RouterOptions& options) {
+  if (options.num_stitchers < 1) {
+    return Status::InvalidArgument("RouterOptions.num_stitchers must be >= 1");
+  }
+  std::unique_ptr<ForecastRouter> router(new ForecastRouter(options));
+  for (int64_t s = 0; s < options.num_stitchers; ++s) {
+    router->stitchers_.emplace_back(
+        [raw = router.get()] { raw->StitcherLoop(); });
+  }
+  return router;
+}
+
+ForecastRouter::ForecastRouter(const RouterOptions& options)
+    : options_(options) {}
+
+ForecastRouter::~ForecastRouter() { Shutdown(); }
+
+void ForecastRouter::Shutdown() {
+  // Stop accepting requests, then shut the engines down *first*: every
+  // already-fanned-out request was accepted by its engines before
+  // stopping_ flipped (Submit fans out under mu_), and Engine::Shutdown
+  // flushes its queue immediately instead of waiting out max_delay. The
+  // stitchers then drain the job queue against already-resolved futures —
+  // no in-flight promise is ever abandoned.
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    claimed.swap(stitchers_);
+    for (auto& [name, entry] : models_) {
+      for (auto& engine : entry.engines) engine->Shutdown();
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& stitcher : claimed) {
+    if (stitcher.joinable()) stitcher.join();
+  }
+}
+
+Status ForecastRouter::AddEntry(const std::string& name, ModelEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return Status::InvalidArgument("ForecastRouter is shut down");
+  }
+  if (!models_.emplace(name, std::move(entry)).second) {
+    return Status::AlreadyExists("model '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status ForecastRouter::AddModel(const std::string& name,
+                                const train::ForecastTask& task,
+                                const ModelFactory& factory,
+                                const std::string& checkpoint_path,
+                                const EngineOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  auto created = ForecastEngine::Create(task, factory, checkpoint_path,
+                                        options);
+  if (!created.ok()) return created.status();
+
+  ModelEntry entry;
+  entry.name = name;
+  entry.num_nodes = task.num_nodes;
+  entry.history = task.history;
+  entry.horizon = task.horizon;
+  entry.input_dim = task.input_dim;
+  entry.sharded = false;
+  // A well-formed single "shard" owning every sensor with no halo, so
+  // the ShardSpec invariants (locals/owned_offset) hold even though the
+  // unsharded fast paths never gather or stitch through it.
+  graph::ShardSpec whole;
+  whole.shard_id = 0;
+  whole.begin = 0;
+  whole.end = task.num_nodes;
+  whole.locals.resize(task.num_nodes);
+  for (int64_t i = 0; i < task.num_nodes; ++i) whole.locals[i] = i;
+  whole.owned_offset = 0;
+  entry.shards.push_back(std::move(whole));
+  entry.engines.push_back(std::move(created).ValueOrDie());
+  return AddEntry(name, std::move(entry));
+}
+
+Status ForecastRouter::AddShardedModel(const std::string& name,
+                                       const train::ForecastTask& task,
+                                       const graph::ShardPlan& plan,
+                                       const ModelFactory& factory,
+                                       const std::string& checkpoint_prefix,
+                                       const EngineOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (plan.num_nodes() != task.num_nodes) {
+    return Status::InvalidArgument(
+        "shard plan covers " + std::to_string(plan.num_nodes()) +
+        " sensors, task has " + std::to_string(task.num_nodes));
+  }
+  if (!checkpoint_prefix.empty()) {
+    // Refuse an inconsistent family up front, before any engine exists.
+    auto validated = train::ShardCheckpointSet::Validate(checkpoint_prefix,
+                                                         plan);
+    if (!validated.ok()) return validated.status();
+  }
+
+  ModelEntry entry;
+  entry.name = name;
+  entry.num_nodes = task.num_nodes;
+  entry.history = task.history;
+  entry.horizon = task.horizon;
+  entry.input_dim = task.input_dim;
+  entry.sharded = true;
+  for (int64_t s = 0; s < plan.num_shards(); ++s) {
+    const graph::ShardSpec& shard = plan.shard(s);
+    const std::string path =
+        checkpoint_prefix.empty()
+            ? std::string()
+            : train::ShardCheckpointSet::ShardPath(checkpoint_prefix, s);
+    auto created = ForecastEngine::Create(train::ShardTask(task, shard),
+                                          factory, path, options);
+    if (!created.ok()) return created.status();
+    entry.shards.push_back(shard);
+    entry.engines.push_back(std::move(created).ValueOrDie());
+  }
+  return AddEntry(name, std::move(entry));
+}
+
+namespace {
+
+// Gathers one shard's local columns of a global (T, N, F) window into a
+// (T, L, F) slice: the owned block is one contiguous copy per step, the
+// halo columns (before and after it) follow one node at a time.
+tensor::Tensor GatherShardWindow(const tensor::Tensor& window,
+                                 const graph::ShardSpec& shard) {
+  const int64_t t_steps = window.size(0);
+  const int64_t n = window.size(1);
+  const int64_t f = window.size(2);
+  const int64_t local = shard.num_local();
+  const int64_t owned = shard.owned_count();
+  const int64_t offset = shard.owned_offset;
+  tensor::Tensor out({t_steps, local, f});
+  const float* src = window.data();
+  float* dst = out.data();
+  for (int64_t t = 0; t < t_steps; ++t) {
+    const float* src_t = src + t * n * f;
+    float* dst_t = dst + t * local * f;
+    for (int64_t j = 0; j < offset; ++j) {
+      std::memcpy(dst_t + j * f, src_t + shard.locals[j] * f,
+                  static_cast<size_t>(f) * sizeof(float));
+    }
+    std::memcpy(dst_t + offset * f, src_t + shard.begin * f,
+                static_cast<size_t>(owned * f) * sizeof(float));
+    for (int64_t j = offset + owned; j < local; ++j) {
+      std::memcpy(dst_t + j * f, src_t + shard.locals[j] * f,
+                  static_cast<size_t>(f) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::future<ForecastResponse> ForecastRouter::Submit(RouterRequest request) {
+  std::promise<ForecastResponse> promise;
+  std::future<ForecastResponse> future = promise.get_future();
+  auto fail = [&promise](Status status) {
+    ForecastResponse response;
+    response.status = std::move(status);
+    promise.set_value(std::move(response));
+  };
+
+  // Phase 1, under the lock: resolve and validate. Entry pointers are
+  // stable (std::map nodes) and a registered entry is immutable, so the
+  // pointer stays usable after the lock drops.
+  ModelEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      fail(Status::InvalidArgument("ForecastRouter is shut down"));
+      return future;
+    }
+    if (!request.model.empty()) {
+      auto it = models_.find(request.model);
+      if (it == models_.end()) {
+        routing_errors_ += 1;
+        fail(Status::NotFound("no model '" + request.model + "' registered"));
+        return future;
+      }
+      entry = &it->second;
+    } else if (models_.size() == 1) {
+      entry = &models_.begin()->second;
+    } else {
+      routing_errors_ += 1;
+      fail(Status::InvalidArgument(
+          models_.empty() ? "no models registered"
+                          : "request must name one of the " +
+                                std::to_string(models_.size()) +
+                                " registered models"));
+      return future;
+    }
+    const tensor::Shape expected = {entry->history, entry->num_nodes,
+                                    entry->input_dim};
+    if (!request.window.defined() || request.window.shape() != expected) {
+      routing_errors_ += 1;
+      fail(Status::InvalidArgument(
+          "request window shape " +
+          (request.window.defined()
+               ? tensor::ShapeToString(request.window.shape())
+               : std::string("<undefined>")) +
+          " != expected " + tensor::ShapeToString(expected)));
+      return future;
+    }
+    requests_ += 1;
+  }
+
+  // Phase 2, unlocked: the per-shard column gathers are the memcpy-heavy
+  // part of routing — keeping them outside mu_ lets concurrent clients
+  // slice their windows in parallel.
+  std::vector<tensor::Tensor> slices;
+  if (entry->sharded) {
+    slices.reserve(entry->shards.size());
+    for (const graph::ShardSpec& shard : entry->shards) {
+      slices.push_back(GatherShardWindow(request.window, shard));
+    }
+  }
+
+  // Phase 3, under the lock again: fan out and enqueue. Shutdown also
+  // takes mu_, so a job is either fully enqueued before the stitchers
+  // start draining or rejected here — a promise can never be stranded.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    requests_ -= 1;  // counted in phase 1, never fanned out
+    fail(Status::InvalidArgument("ForecastRouter is shut down"));
+    return future;
+  }
+  StitchJob job;
+  job.entry = entry;
+  job.promise = std::move(promise);
+  job.shard_futures.reserve(entry->engines.size());
+  if (!entry->sharded) {
+    job.shard_futures.push_back(
+        entry->engines[0]->Submit(ForecastRequest{std::move(request.window)}));
+  } else {
+    for (size_t s = 0; s < entry->engines.size(); ++s) {
+      job.shard_futures.push_back(
+          entry->engines[s]->Submit(ForecastRequest{std::move(slices[s])}));
+    }
+  }
+  jobs_.push_back(std::move(job));
+  cv_.notify_one();
+  return future;
+}
+
+void ForecastRouter::StitcherLoop() {
+  while (true) {
+    StitchJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    // Waiting on engine futures must happen outside the lock, or one slow
+    // shard would stall every Submit.
+    Stitch(&job);
+  }
+}
+
+void ForecastRouter::Stitch(StitchJob* job) {
+  const ModelEntry& entry = *job->entry;
+  if (!entry.sharded) {
+    // Single engine: the shard response *is* the global response.
+    job->promise.set_value(job->shard_futures[0].get());
+    return;
+  }
+  ForecastResponse out;
+  out.forecast = tensor::Tensor({entry.horizon, entry.num_nodes});
+  for (size_t s = 0; s < job->shard_futures.size(); ++s) {
+    ForecastResponse shard_response = job->shard_futures[s].get();
+    if (!shard_response.status.ok()) {
+      // Per-request error surfacing: this request fails with the shard's
+      // Status (e.g. kUnavailable from admission control); every other
+      // request keeps its own fate.
+      ForecastResponse failed;
+      failed.status = std::move(shard_response.status);
+      job->promise.set_value(std::move(failed));
+      return;
+    }
+    const graph::ShardSpec& shard = entry.shards[s];
+    const tensor::Tensor& f = shard_response.forecast;  // (T', local)
+    DYHSL_CHECK_EQ(f.size(0), entry.horizon);
+    DYHSL_CHECK_EQ(f.size(1), shard.num_local());
+    const int64_t owned = shard.owned_count();
+    // The owned block is contiguous inside the local id space, so
+    // dropping halo columns and scattering back to global order is one
+    // contiguous copy per step.
+    for (int64_t t = 0; t < entry.horizon; ++t) {
+      std::memcpy(out.forecast.data() + t * entry.num_nodes + shard.begin,
+                  f.data() + t * shard.num_local() + shard.owned_offset,
+                  static_cast<size_t>(owned) * sizeof(float));
+    }
+    // The request's critical path: the slowest shard on every axis.
+    out.batch_size = std::max(out.batch_size, shard_response.batch_size);
+    out.queue_micros = std::max(out.queue_micros, shard_response.queue_micros);
+    out.compute_micros =
+        std::max(out.compute_micros, shard_response.compute_micros);
+  }
+  job->promise.set_value(std::move(out));
+}
+
+std::vector<std::string> ForecastRouter::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  return names;
+}
+
+int64_t ForecastRouter::ShardCountOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.engines.size());
+}
+
+RouterStats ForecastRouter::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterStats stats;
+  stats.requests = requests_;
+  stats.routing_errors = routing_errors_;
+  for (const auto& [name, entry] : models_) {
+    for (size_t s = 0; s < entry.engines.size(); ++s) {
+      EngineStatsEntry e;
+      e.model = name;
+      e.shard_id = entry.shards[s].shard_id;
+      e.shard = entry.engines[s]->shard_meta();
+      e.stats = entry.engines[s]->Snapshot();
+      stats.total.requests += e.stats.requests;
+      stats.total.batches += e.stats.batches;
+      stats.total.max_batch_observed = std::max(
+          stats.total.max_batch_observed, e.stats.max_batch_observed);
+      stats.total.rejected += e.stats.rejected;
+      stats.total.effective_max_batch = std::max(
+          stats.total.effective_max_batch, e.stats.effective_max_batch);
+      stats.total.queue_depth += e.stats.queue_depth;
+      stats.engines.push_back(std::move(e));
+    }
+  }
+  return stats;
+}
+
+}  // namespace dyhsl::serve

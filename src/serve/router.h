@@ -1,0 +1,171 @@
+// Sharded, multi-model forecast routing.
+//
+// A ForecastRouter owns a fleet of ForecastEngines — one per registered
+// (model, shard) — and presents the same Submit -> future<Response>
+// surface over the *global* sensor space. For a sharded model the router
+// splits an incoming (T, N, F) window by sensor range (gathering each
+// shard's owned + halo columns in the shard-local id order), fans the
+// slices out to the shard engines, and stitches the shard responses back
+// into one globally ordered (T', N) forecast, dropping every halo column.
+// Requests name the model they want ("STGCN", "dyhsl-v2", ...); a router
+// hosting exactly one model also accepts an empty name.
+//
+// Error surfacing is per-request: a shard engine shedding load with
+// kUnavailable (or failing in any other way) fails that one request's
+// future with the shard's Status — other in-flight requests, and other
+// shards of the same request's batch, are unaffected.
+//
+// Stitching happens on a small pool of router threads that wait on the
+// shard futures in submission order; per-request work there is a couple
+// of column copies, so the pool never becomes the bottleneck before the
+// engines do.
+
+#ifndef DYHSL_SERVE_ROUTER_H_
+#define DYHSL_SERVE_ROUTER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/graph/shard.h"
+#include "src/serve/engine.h"
+#include "src/train/forecast_model.h"
+
+namespace dyhsl::serve {
+
+/// \brief One forecast query against a router: a scaled (T, N, F) window
+/// over the *global* sensor space, plus the name of the model to serve it
+/// with (optional only when a single model is registered).
+struct RouterRequest {
+  std::string model;
+  tensor::Tensor window;
+};
+
+/// \brief Per-engine stats snapshot, tagged with its fleet position.
+struct EngineStatsEntry {
+  std::string model;
+  int64_t shard_id = 0;  // 0 for unsharded models
+  train::ShardMeta shard;
+  EngineStats stats;
+};
+
+/// \brief Aggregated fleet statistics: the router's own counters plus a
+/// consistent per-engine Snapshot() of every engine.
+struct RouterStats {
+  /// Requests accepted by the router (fanned out to engines).
+  int64_t requests = 0;
+  /// Requests failed before fan-out (unknown model, bad window shape).
+  int64_t routing_errors = 0;
+  /// Sum of every engine's counters.
+  EngineStats total;
+  std::vector<EngineStatsEntry> engines;
+};
+
+/// \brief Threading knobs for the router itself (engine knobs live in
+/// EngineOptions, passed per model).
+struct RouterOptions {
+  /// Threads stitching shard responses into global forecasts.
+  int64_t num_stitchers = 2;
+};
+
+/// \brief Hosts one ForecastEngine per (model, shard) and routes global
+/// requests across the fleet. Thread-safe: Submit may be called from any
+/// thread; models must be registered before the first Submit.
+class ForecastRouter {
+ public:
+  static Result<std::unique_ptr<ForecastRouter>> Create(
+      const RouterOptions& options = RouterOptions());
+
+  /// Drains in-flight requests and shuts down every engine.
+  ~ForecastRouter();
+
+  ForecastRouter(const ForecastRouter&) = delete;
+  ForecastRouter& operator=(const ForecastRouter&) = delete;
+
+  /// \brief Registers an unsharded model under `name`: one engine serving
+  /// the full task, optionally restored from `checkpoint_path`.
+  Status AddModel(const std::string& name, const train::ForecastTask& task,
+                  const ModelFactory& factory,
+                  const std::string& checkpoint_path = "",
+                  const EngineOptions& options = EngineOptions());
+
+  /// \brief Registers a sharded model under `name`: one engine per shard
+  /// of `plan`, each built from the shard-scoped task. With a non-empty
+  /// `checkpoint_prefix` the shard checkpoint family is validated against
+  /// the plan (ShardCheckpointSet::Validate) and each engine loads its
+  /// shard's file; otherwise every shard starts from the factory's
+  /// initialization.
+  Status AddShardedModel(const std::string& name,
+                         const train::ForecastTask& task,
+                         const graph::ShardPlan& plan,
+                         const ModelFactory& factory,
+                         const std::string& checkpoint_prefix = "",
+                         const EngineOptions& options = EngineOptions());
+
+  /// \brief Routes one global window to the named model's engines. The
+  /// future is always fulfilled; failures (unknown model, wrong shape, a
+  /// shard's Status) arrive as a failed ForecastResponse::status.
+  std::future<ForecastResponse> Submit(RouterRequest request);
+
+  /// \brief Stops accepting requests, stitches everything in flight, and
+  /// shuts down every engine (draining their queues). Idempotent; also
+  /// run by the destructor.
+  void Shutdown();
+
+  std::vector<std::string> ModelNames() const;
+  /// Engines hosted for `name` (1 for unsharded models), 0 if unknown.
+  int64_t ShardCountOf(const std::string& name) const;
+
+  /// \brief Consistent per-engine snapshots plus fleet totals.
+  RouterStats Stats() const;
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    int64_t num_nodes = 0;   // global sensor count
+    int64_t history = 0;
+    int64_t horizon = 0;
+    int64_t input_dim = 0;
+    bool sharded = false;
+    /// Shard specs (one identity-like spec for unsharded models).
+    std::vector<graph::ShardSpec> shards;
+    std::vector<std::unique_ptr<ForecastEngine>> engines;
+  };
+
+  struct StitchJob {
+    ModelEntry* entry = nullptr;
+    std::vector<std::future<ForecastResponse>> shard_futures;
+    std::promise<ForecastResponse> promise;
+  };
+
+  explicit ForecastRouter(const RouterOptions& options);
+
+  Status AddEntry(const std::string& name, ModelEntry entry);
+  void StitcherLoop();
+  /// Waits on the job's shard futures and fulfills its promise.
+  static void Stitch(StitchJob* job);
+
+  RouterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Registered models; pointers into the map stay valid (std::map nodes
+  /// are stable) for jobs in flight.
+  std::map<std::string, ModelEntry> models_;
+  std::deque<StitchJob> jobs_;
+  bool stopping_ = false;
+  int64_t requests_ = 0;
+  int64_t routing_errors_ = 0;
+  std::vector<std::thread> stitchers_;
+};
+
+}  // namespace dyhsl::serve
+
+#endif  // DYHSL_SERVE_ROUTER_H_

@@ -7,12 +7,15 @@
 #include <set>
 #include <vector>
 
+#include "src/graph/shard.h"
+
 namespace dyhsl::train {
 namespace {
 
 constexpr char kMagicV1[4] = {'D', 'Y', 'H', '1'};
 constexpr char kMagicV2[4] = {'D', 'Y', 'H', '2'};
-constexpr uint8_t kFormatVersion = 2;
+constexpr uint8_t kVersionPlain = 2;
+constexpr uint8_t kVersionSharded = 3;
 
 // Field sanity bounds: anything beyond these is a corrupt or hostile
 // file, not a real checkpoint.
@@ -31,16 +34,94 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
+// Reads magic + version (+ shard block for version 3). On success `meta`
+// holds the file's shard metadata (unsharded for versions 1 and 2).
+Status ReadHeader(std::ifstream& in, const std::string& path,
+                  ShardMeta* meta) {
+  *meta = ShardMeta();
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good()) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    uint8_t version = 0;
+    if (!ReadPod(in, &version)) {
+      return Status::IoError("truncated checkpoint header: " + path);
+    }
+    if (version != kVersionPlain && version != kVersionSharded) {
+      return Status::InvalidArgument(
+          "unsupported checkpoint format version " +
+          std::to_string(static_cast<int>(version)) + " in " + path);
+    }
+    if (version == kVersionSharded) {
+      int64_t fields[6];
+      for (int64_t& f : fields) {
+        if (!ReadPod(in, &f)) {
+          return Status::IoError("truncated shard metadata in " + path);
+        }
+      }
+      meta->shard_id = fields[0];
+      meta->num_shards = fields[1];
+      meta->global_begin = fields[2];
+      meta->global_end = fields[3];
+      meta->halo_count = fields[4];
+      meta->total_nodes = fields[5];
+      if (!meta->Consistent()) {
+        return Status::InvalidArgument("corrupt shard metadata in " + path);
+      }
+    }
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    // DYH1 files (no version byte, never sharded) stay readable; anything
+    // else is not a checkpoint at all.
+    return Status::InvalidArgument("not a DyHSL checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
+ShardMeta ShardMeta::FromPlan(const graph::ShardPlan& plan, int64_t s) {
+  const graph::ShardSpec& shard = plan.shard(s);
+  ShardMeta meta;
+  meta.shard_id = shard.shard_id;
+  meta.num_shards = plan.num_shards();
+  meta.global_begin = shard.begin;
+  meta.global_end = shard.end;
+  meta.halo_count = shard.halo_count();
+  meta.total_nodes = plan.num_nodes();
+  return meta;
+}
+
+bool ShardMeta::Matches(const graph::ShardPlan& plan, int64_t s) const {
+  if (s < 0 || s >= plan.num_shards()) return false;
+  const graph::ShardSpec& shard = plan.shard(s);
+  return shard_id == shard.shard_id && num_shards == plan.num_shards() &&
+         global_begin == shard.begin && global_end == shard.end &&
+         halo_count == shard.halo_count() &&
+         total_nodes == plan.num_nodes();
+}
+
+Status SaveCheckpoint(const nn::Module& module, const std::string& path,
+                      const ShardMeta& meta) {
+  if (meta.sharded() && !meta.Consistent()) {
+    return Status::InvalidArgument("inconsistent ShardMeta for " + path);
+  }
   auto named = module.NamedParameters();
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) {
     return Status::IoError("cannot open for writing: " + path);
   }
   out.write(kMagicV2, sizeof(kMagicV2));
-  WritePod<uint8_t>(out, kFormatVersion);
+  WritePod<uint8_t>(out, meta.sharded() ? kVersionSharded : kVersionPlain);
+  if (meta.sharded()) {
+    WritePod<int64_t>(out, meta.shard_id);
+    WritePod<int64_t>(out, meta.num_shards);
+    WritePod<int64_t>(out, meta.global_begin);
+    WritePod<int64_t>(out, meta.global_end);
+    WritePod<int64_t>(out, meta.halo_count);
+    WritePod<int64_t>(out, meta.total_nodes);
+  }
   WritePod<uint64_t>(out, named.size());
   for (const auto& [name, param] : named) {
     WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
@@ -57,31 +138,14 @@ Status SaveCheckpoint(const nn::Module& module, const std::string& path) {
   return Status::OK();
 }
 
-Status LoadCheckpoint(nn::Module* module, const std::string& path) {
+Status LoadCheckpoint(nn::Module* module, const std::string& path,
+                      ShardMeta* meta) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good()) {
-    return Status::IoError("truncated checkpoint header: " + path);
-  }
-  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
-    uint8_t version = 0;
-    if (!ReadPod(in, &version)) {
-      return Status::IoError("truncated checkpoint header: " + path);
-    }
-    if (version != kFormatVersion) {
-      return Status::InvalidArgument(
-          "unsupported checkpoint format version " +
-          std::to_string(static_cast<int>(version)) + " in " + path);
-    }
-  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
-    // DYH1 files (no version byte) stay readable; anything else is not a
-    // checkpoint at all.
-    return Status::InvalidArgument("not a DyHSL checkpoint: " + path);
-  }
+  ShardMeta file_meta;
+  DYHSL_RETURN_NOT_OK(ReadHeader(in, path, &file_meta));
   uint64_t count = 0;
   if (!ReadPod(in, &count)) {
     return Status::IoError("truncated checkpoint header: " + path);
@@ -170,7 +234,74 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path) {
   for (auto& [target, value] : staged) {
     target->mutable_value()->CopyDataFrom(value);
   }
+  if (meta != nullptr) *meta = file_meta;
   return Status::OK();
+}
+
+Status ReadCheckpointShardMeta(const std::string& path, ShardMeta* meta) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadHeader(in, path, meta);
+}
+
+std::string ShardCheckpointSet::ShardPath(const std::string& prefix,
+                                          int64_t shard_id) {
+  return prefix + ".shard" + std::to_string(shard_id) + ".ckpt";
+}
+
+Status ShardCheckpointSet::Save(const graph::ShardPlan& plan,
+                                const std::vector<const nn::Module*>& modules,
+                                const std::string& prefix) {
+  if (static_cast<int64_t>(modules.size()) != plan.num_shards()) {
+    return Status::InvalidArgument(
+        "ShardCheckpointSet::Save needs one module per shard (" +
+        std::to_string(modules.size()) + " given, " +
+        std::to_string(plan.num_shards()) + " shards)");
+  }
+  for (int64_t s = 0; s < plan.num_shards(); ++s) {
+    if (modules[s] == nullptr) {
+      return Status::InvalidArgument("ShardCheckpointSet::Save: null module");
+    }
+    DYHSL_RETURN_NOT_OK(SaveCheckpoint(*modules[s], ShardPath(prefix, s),
+                                       ShardMeta::FromPlan(plan, s)));
+  }
+  return Status::OK();
+}
+
+Status ShardCheckpointSet::Save(const graph::ShardPlan& plan,
+                                const nn::Module& module,
+                                const std::string& prefix) {
+  std::vector<const nn::Module*> modules(plan.num_shards(), &module);
+  return Save(plan, modules, prefix);
+}
+
+Result<std::vector<ShardMeta>> ShardCheckpointSet::Validate(
+    const std::string& prefix, const graph::ShardPlan& plan) {
+  std::vector<ShardMeta> metas;
+  metas.reserve(plan.num_shards());
+  for (int64_t s = 0; s < plan.num_shards(); ++s) {
+    const std::string path = ShardPath(prefix, s);
+    ShardMeta meta;
+    DYHSL_RETURN_NOT_OK(ReadCheckpointShardMeta(path, &meta));
+    if (!meta.sharded()) {
+      return Status::InvalidArgument("checkpoint " + path +
+                                     " carries no shard metadata");
+    }
+    if (!meta.Matches(plan, s)) {
+      return Status::InvalidArgument(
+          "checkpoint " + path + " (shard " + std::to_string(meta.shard_id) +
+          "/" + std::to_string(meta.num_shards) + ", sensors [" +
+          std::to_string(meta.global_begin) + ", " +
+          std::to_string(meta.global_end) + ") of " +
+          std::to_string(meta.total_nodes) + ", halo " +
+          std::to_string(meta.halo_count) +
+          ") does not match shard " + std::to_string(s) + " of the plan");
+    }
+    metas.push_back(meta);
+  }
+  return metas;
 }
 
 }  // namespace dyhsl::train

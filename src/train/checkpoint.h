@@ -2,33 +2,127 @@
 // (by name) so trained forecasters can be shipped and reloaded.
 //
 // Format (binary, little-endian host order):
-//   magic "DYH2" | uint8 version (= 2)
+//   magic "DYH2" | uint8 version (2 or 3)
+//   [version 3 only] shard metadata block: int64 x 6
+//       (shard_id, num_shards, global_begin, global_end, halo_count,
+//        total_nodes)
 //   uint64 parameter count P
 //   P x [ uint32 name_len | name bytes | uint32 rank | int64 dims... |
 //         float data... ]
-// Legacy "DYH1" files (identical layout, no version byte) remain
-// readable. Loading matches by name and validates shapes; extra,
-// missing or duplicate names, truncated records, corrupt length/rank
-// fields and trailing bytes are all reported through Status — and the
-// load is transactional, so a failed load never leaves the module
-// half-overwritten.
+// Version 2 is what unsharded checkpoints still write, byte-identical to
+// before; version 3 adds the optional shard block. Legacy "DYH1" files
+// (identical record layout, no version byte) remain readable. Loading
+// matches by name and validates shapes; extra, missing or duplicate
+// names, truncated records, corrupt length/rank fields and trailing
+// bytes are all reported through Status — and the load is transactional,
+// so a failed load never leaves the module half-overwritten.
 
 #ifndef DYHSL_TRAIN_CHECKPOINT_H_
 #define DYHSL_TRAIN_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/status.h"
 #include "src/nn/module.h"
 
+namespace dyhsl::graph {
+class ShardPlan;
+}  // namespace dyhsl::graph
+
 namespace dyhsl::train {
 
-/// \brief Writes all named parameters of `module` to `path`.
-Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+/// \brief Optional shard metadata carried by a DYH2 (version 3)
+/// checkpoint: which slice of the global sensor space the stored
+/// parameters were trained to serve. A default-constructed ShardMeta
+/// (shard_id == -1) means "unsharded".
+struct ShardMeta {
+  int64_t shard_id = -1;
+  int64_t num_shards = 0;
+  /// Owned global sensor range [global_begin, global_end).
+  int64_t global_begin = 0;
+  int64_t global_end = 0;
+  /// Halo nodes carried beyond the owned range.
+  int64_t halo_count = 0;
+  /// Global sensor count of the partitioned network.
+  int64_t total_nodes = 0;
+
+  bool sharded() const { return shard_id >= 0; }
+
+  /// \brief Internal consistency of a sharded meta: fields within sane
+  /// magnitude bounds (these arrive from untrusted files), shard_id
+  /// within num_shards, a non-empty owned range inside [0, total_nodes),
+  /// and owned + halo not exceeding the network. Shared by the save-side
+  /// and load-side validation so the two can never drift apart.
+  bool Consistent() const {
+    // Same magnitude cap as checkpoint tensor dims; bounding every field
+    // first keeps the range arithmetic below overflow-free.
+    constexpr int64_t kMaxField = int64_t{1} << 40;
+    if (num_shards > kMaxField || total_nodes > kMaxField ||
+        global_end > kMaxField || halo_count > kMaxField) {
+      return false;
+    }
+    return shard_id >= 0 && shard_id < num_shards && global_begin >= 0 &&
+           global_begin < global_end && global_end <= total_nodes &&
+           halo_count >= 0 &&
+           (global_end - global_begin) + halo_count <= total_nodes;
+  }
+
+  /// \brief Metadata for shard `s` of a plan.
+  static ShardMeta FromPlan(const graph::ShardPlan& plan, int64_t s);
+
+  /// \brief True when every field matches shard `s` of `plan`.
+  bool Matches(const graph::ShardPlan& plan, int64_t s) const;
+};
+
+/// \brief Writes all named parameters of `module` to `path`. With a
+/// sharded `meta` the file carries the shard block (format version 3);
+/// otherwise the format is the unchanged version 2.
+Status SaveCheckpoint(const nn::Module& module, const std::string& path,
+                      const ShardMeta& meta = ShardMeta());
 
 /// \brief Restores parameters into `module` (matched by name; shapes must
 /// agree; the file must contain exactly the module's parameter set).
-Status LoadCheckpoint(nn::Module* module, const std::string& path);
+/// When `meta` is non-null it receives the file's shard metadata — an
+/// unsharded ShardMeta for version-1/2 files.
+Status LoadCheckpoint(nn::Module* module, const std::string& path,
+                      ShardMeta* meta = nullptr);
+
+/// \brief Reads only the shard metadata of a checkpoint (header bytes,
+/// no parameter payload). Version-1/2 files yield an unsharded ShardMeta.
+Status ReadCheckpointShardMeta(const std::string& path, ShardMeta* meta);
+
+/// \brief A consistent family of per-shard checkpoints under one path
+/// prefix ("<prefix>.shard<k>.ckpt"), the unit the serving router loads a
+/// sharded model from.
+class ShardCheckpointSet {
+ public:
+  /// \brief File path of shard `shard_id` under `prefix`.
+  static std::string ShardPath(const std::string& prefix, int64_t shard_id);
+
+  /// \brief Writes one checkpoint per shard of `plan`, each stamped with
+  /// its ShardMeta. `modules` holds the shard-scoped module of every
+  /// shard, in shard order.
+  static Status Save(const graph::ShardPlan& plan,
+                     const std::vector<const nn::Module*>& modules,
+                     const std::string& prefix);
+
+  /// \brief Convenience for models whose parameter shapes are independent
+  /// of the node count (so one globally trained module serves every
+  /// shard): writes the same parameter payload for each shard, with
+  /// per-shard metadata.
+  static Status Save(const graph::ShardPlan& plan, const nn::Module& module,
+                     const std::string& prefix);
+
+  /// \brief Validates that the family under `prefix` is complete and
+  /// consistent with `plan` — every shard file present, each stamped with
+  /// metadata matching the plan's ranges, halos and totals — and returns
+  /// the per-shard metadata. Any mismatch (missing file, unsharded or
+  /// foreign metadata) fails without partial results.
+  static Result<std::vector<ShardMeta>> Validate(const std::string& prefix,
+                                                 const graph::ShardPlan& plan);
+};
 
 }  // namespace dyhsl::train
 

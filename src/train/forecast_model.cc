@@ -25,6 +25,25 @@ ForecastTask ForecastTask::FromDataset(const data::TrafficDataset& dataset) {
   return task;
 }
 
+ForecastTask ShardTask(const ForecastTask& global,
+                       const graph::ShardSpec& shard) {
+  DYHSL_CHECK_EQ(global.spatial_adj.rows(), global.num_nodes);
+  ForecastTask task = global;
+  task.num_nodes = shard.num_local();
+  task.spatial_adj = graph::InducedSubgraph(global.spatial_adj, shard);
+  task.district_labels.clear();
+  if (!global.district_labels.empty()) {
+    task.district_labels.reserve(shard.locals.size());
+    for (int64_t g : shard.locals) {
+      DYHSL_CHECK_MSG(
+          g >= 0 && g < static_cast<int64_t>(global.district_labels.size()),
+          "ShardTask: shard local id outside the global task");
+      task.district_labels.push_back(global.district_labels[g]);
+    }
+  }
+  return task;
+}
+
 ag::Variable MaskedMaeLoss(const ag::Variable& pred,
                            const tensor::Tensor& target,
                            float mask_threshold) {

@@ -9,6 +9,7 @@
 
 #include "src/autograd/variable.h"
 #include "src/data/dataset.h"
+#include "src/graph/shard.h"
 #include "src/tensor/sparse.h"
 
 namespace dyhsl::train {
@@ -33,6 +34,14 @@ struct ForecastTask {
 
   static ForecastTask FromDataset(const data::TrafficDataset& dataset);
 };
+
+/// \brief Shard-scoped view of a global task: num_nodes becomes the
+/// shard's owned + halo count, the adjacency becomes the induced subgraph
+/// (local ids), and district labels are gathered per local node. Scaler
+/// statistics, history/horizon and the feature layout carry over, so any
+/// ForecastModel built from the result is a drop-in shard model.
+ForecastTask ShardTask(const ForecastTask& global,
+                       const graph::ShardSpec& shard);
 
 /// \brief A trainable spatio-temporal forecaster.
 ///

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,152 @@ TEST(CheckpointTest, LegacyV1FilesStillLoad) {
     EXPECT_TENSOR_EQ(a[i].second.value(), b[i].second.value());
   }
   std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShardMetadataRoundTripsThroughV3) {
+  Rng rng(21);
+  nn::Linear source(4, 3, &rng);
+  nn::Linear target(4, 3, &rng);
+  ShardMeta meta;
+  meta.shard_id = 1;
+  meta.num_shards = 4;
+  meta.global_begin = 256;
+  meta.global_end = 512;
+  meta.halo_count = 3;
+  meta.total_nodes = 1024;
+  std::string path = TempPath("shardmeta.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path, meta).ok());
+
+  // The sharded format announces itself as version 3.
+  std::string bytes = ReadFile(path);
+  ASSERT_GE(bytes.size(), 5u);
+  EXPECT_EQ(bytes.substr(0, 4), "DYH2");
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 3);
+
+  // Metadata-only read (header bytes, no payload).
+  ShardMeta peeked;
+  ASSERT_TRUE(ReadCheckpointShardMeta(path, &peeked).ok());
+  EXPECT_EQ(peeked.shard_id, 1);
+  EXPECT_EQ(peeked.num_shards, 4);
+  EXPECT_EQ(peeked.global_begin, 256);
+  EXPECT_EQ(peeked.global_end, 512);
+  EXPECT_EQ(peeked.halo_count, 3);
+  EXPECT_EQ(peeked.total_nodes, 1024);
+
+  // Full load restores parameters and surfaces the same metadata.
+  ShardMeta loaded;
+  ASSERT_TRUE(LoadCheckpoint(&target, path, &loaded).ok());
+  EXPECT_TRUE(loaded.sharded());
+  EXPECT_EQ(loaded.global_begin, 256);
+  auto a = source.NamedParameters();
+  auto b = target.NamedParameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TENSOR_EQ(a[i].second.value(), b[i].second.value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnshardedSavesStayVersion2AndYieldUnshardedMeta) {
+  Rng rng(22);
+  nn::Linear source(2, 2, &rng);
+  nn::Linear target(2, 2, &rng);
+  std::string path = TempPath("nometa.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+  std::string bytes = ReadFile(path);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 2);  // byte-compatible format
+  ShardMeta meta;
+  meta.shard_id = 7;  // stale contents must be overwritten
+  ASSERT_TRUE(LoadCheckpoint(&target, path, &meta).ok());
+  EXPECT_FALSE(meta.sharded());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LegacyV1FilesYieldUnshardedMeta) {
+  Rng rng(23);
+  nn::Linear source(3, 2, &rng);
+  nn::Linear target(3, 2, &rng);
+  std::string path = TempPath("legacymeta.ckpt");
+  WriteFile(path, SerializeV1(source));
+  ShardMeta meta;
+  meta.shard_id = 2;
+  ASSERT_TRUE(LoadCheckpoint(&target, path, &meta).ok());
+  EXPECT_FALSE(meta.sharded());
+  ShardMeta peeked;
+  ASSERT_TRUE(ReadCheckpointShardMeta(path, &peeked).ok());
+  EXPECT_FALSE(peeked.sharded());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruptShardMetadata) {
+  Rng rng(24);
+  nn::Linear source(2, 2, &rng);
+  nn::Linear target(2, 2, &rng);
+  ShardMeta meta;
+  meta.shard_id = 0;
+  meta.num_shards = 2;
+  meta.global_begin = 0;
+  meta.global_end = 4;
+  meta.halo_count = 1;
+  meta.total_nodes = 8;
+  std::string path = TempPath("badmeta.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path, meta).ok());
+  std::string bytes = ReadFile(path);
+  // Corrupt the shard block: global_end (fourth int64, after magic +
+  // version + shard_id + num_shards + global_begin) becomes negative.
+  int64_t bad = -5;
+  std::memcpy(bytes.data() + 4 + 1 + 3 * sizeof(int64_t), &bad,
+              sizeof(bad));
+  WriteFile(path, bytes);
+  Status status = LoadCheckpoint(&target, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  ShardMeta peeked;
+  EXPECT_FALSE(ReadCheckpointShardMeta(path, &peeked).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsOverflowingShardMetadata) {
+  // Hostile header: halo_count and total_nodes near INT64_MAX must be
+  // rejected by the magnitude caps, not wrap the owned+halo sum.
+  Rng rng(26);
+  nn::Linear source(2, 2, &rng);
+  nn::Linear target(2, 2, &rng);
+  ShardMeta meta;
+  meta.shard_id = 0;
+  meta.num_shards = 2;
+  meta.global_begin = 0;
+  meta.global_end = 4;
+  meta.halo_count = 1;
+  meta.total_nodes = 8;
+  std::string path = TempPath("overflowmeta.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path, meta).ok());
+  std::string bytes = ReadFile(path);
+  int64_t huge = std::numeric_limits<int64_t>::max();
+  // halo_count is the fifth int64, total_nodes the sixth.
+  std::memcpy(bytes.data() + 4 + 1 + 4 * sizeof(int64_t), &huge,
+              sizeof(huge));
+  std::memcpy(bytes.data() + 4 + 1 + 5 * sizeof(int64_t), &huge,
+              sizeof(huge));
+  WriteFile(path, bytes);
+  Status status = LoadCheckpoint(&target, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveRejectsInconsistentShardMeta) {
+  Rng rng(25);
+  nn::Linear source(2, 2, &rng);
+  ShardMeta meta;
+  meta.shard_id = 3;
+  meta.num_shards = 2;  // shard_id out of range
+  meta.global_begin = 0;
+  meta.global_end = 4;
+  meta.total_nodes = 8;
+  std::string path = TempPath("inconsistent.ckpt");
+  Status status = SaveCheckpoint(source, path, meta);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(CheckpointTest, RejectsUnsupportedVersion) {

@@ -3,6 +3,8 @@
 // determinism across batch compositions, checkpoint bring-up, and
 // request validation.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -107,7 +109,7 @@ TEST(ForecastEngineTest, ConcurrentSubmitsAreBatchedAndCorrect) {
     max_batch_seen = std::max(max_batch_seen, response.batch_size);
     EXPECT_LE(response.batch_size, options.max_batch);
   }
-  EngineStats stats = engine->stats();
+  EngineStats stats = engine->Snapshot();
   EXPECT_EQ(stats.requests, kClients);
   EXPECT_EQ(stats.max_batch_observed, max_batch_seen);
   // 12 requests through max_batch=4 flushes need at least 3 batches.
@@ -173,7 +175,7 @@ TEST(ForecastEngineTest, MultipleWorkersServeEveryRequest) {
     ASSERT_TRUE(response.status.ok());
     EXPECT_TENSOR_EQ(response.forecast, expected);
   }
-  EXPECT_EQ(engine->stats().requests, 32);
+  EXPECT_EQ(engine->Snapshot().requests, 32);
 }
 
 TEST(ForecastEngineTest, LoadsCheckpointAtCreate) {
@@ -286,7 +288,7 @@ TEST(ForecastEngineTest, MaxQueueShedsLoadWithUnavailable) {
   EXPECT_GT(served, 0);
   EXPECT_GT(rejected, 0);
   EXPECT_EQ(served + rejected, 8);
-  EXPECT_EQ(engine->stats().rejected, rejected);
+  EXPECT_EQ(engine->Snapshot().rejected, rejected);
 }
 
 TEST(ForecastEngineTest, ServesSparseTopKModelGradFree) {
@@ -310,6 +312,158 @@ TEST(ForecastEngineTest, ServesSparseTopKModelGradFree) {
           .value()
           .Reshape({task.horizon, task.num_nodes});
   EXPECT_TRUE(dyhsl::testing::TensorEq(response.forecast, direct));
+}
+
+TEST(ForecastEngineTest, AdaptiveBatchServesShallowQueueImmediately) {
+  // With a huge max_delay and adaptive batching OFF, a lone request waits
+  // out the full delay for batch slots that never fill. Adaptive batching
+  // tracks the shallow queue and flushes immediately.
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 16;
+  options.max_delay_us = 2000000;  // 2 s: a non-adaptive engine would stall
+  options.adaptive_batch = true;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 6);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 3; ++i) {
+    ForecastResponse response =
+        engine->Submit(ForecastRequest{window.Clone()}).get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.batch_size, 1);
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  // Three sequential round trips must not pay even one 2 s delay window.
+  EXPECT_LT(elapsed_ms, 1000.0);
+  EngineStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.effective_max_batch, 1);
+  EXPECT_EQ(stats.requests, 3);
+}
+
+TEST(ForecastEngineTest, AdaptiveBatchStillPacksBursts) {
+  // Adaptive batching shrinks the wait target, never the take: requests
+  // already waiting are still packed into one forward.
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 16;
+  options.max_delay_us = 1000000;
+  options.adaptive_batch = true;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 8);
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  engine->Shutdown();
+  int64_t served = 0;
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    served += 1;
+  }
+  EXPECT_EQ(served, 12);
+  EngineStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.requests, 12);
+  // The effective target stays within [1, max_batch].
+  EXPECT_GE(stats.effective_max_batch, 1);
+  EXPECT_LE(stats.effective_max_batch, options.max_batch);
+}
+
+TEST(ForecastEngineTest, AdaptiveBatchRecoversAfterABurst) {
+  // A burst drives the depth estimate up; when traffic drops back to a
+  // single stream, one timed-out wait is hard evidence and collapses the
+  // target — the lone client pays at most one delay window, not one per
+  // flush while an EWMA decays.
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 16;
+  options.max_delay_us = 300000;  // 0.3 s per stalled flush
+  options.adaptive_batch = true;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 14);
+  // Burst: 12 concurrent requests raise the depth EWMA.
+  std::vector<std::future<ForecastResponse>> burst;
+  for (int i = 0; i < 12; ++i) {
+    burst.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  for (auto& future : burst) ASSERT_TRUE(future.get().status.ok());
+  // Single stream: the first request may pay one 0.3 s window while the
+  // engine learns the queue went shallow; the rest must be immediate.
+  // 4 sequential requests across 3 s of budget leaves generous slack.
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    ForecastResponse response =
+        engine->Submit(ForecastRequest{window.Clone()}).get();
+    ASSERT_TRUE(response.status.ok());
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(elapsed_ms, 1000.0);
+  EXPECT_EQ(engine->Snapshot().effective_max_batch, 1);
+}
+
+TEST(ForecastEngineTest, SnapshotIsConsistentUnderLoad) {
+  // Snapshot() must hand back one coherent view: after a drained run,
+  // requests/batches/max_batch_observed agree with what was served, and
+  // the queue depth is zero.
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions options;
+  options.max_batch = 4;
+  options.max_delay_us = 5000;
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", options))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 9);
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  int64_t max_batch_seen = 0;
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    ASSERT_TRUE(response.status.ok());
+    max_batch_seen = std::max(max_batch_seen, response.batch_size);
+  }
+  EngineStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.requests, 10);
+  EXPECT_EQ(stats.max_batch_observed, max_batch_seen);
+  EXPECT_GE(stats.batches, (10 + options.max_batch - 1) / options.max_batch);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.effective_max_batch, options.max_batch);  // adaptive off
+}
+
+TEST(ForecastEngineTest, ServesZooModelThroughFactory) {
+  // The engine is model-agnostic: a zoo factory (here STGCN) serves
+  // responses matching the model's direct grad-free forward.
+  train::ForecastTask task = RingForecastTask(10, 12);
+  train::ZooConfig zoo;
+  zoo.hidden_dim = 8;
+  zoo.seed = 3;
+  auto engine =
+      std::move(ForecastEngine::Create(task, ZooFactory("STGCN", zoo)))
+          .ValueOrDie();
+  EXPECT_EQ(engine->model().name(), "STGCN");
+  T::Tensor window = RandomWindow(task, 12);
+  ForecastResponse response =
+      engine->Submit(ForecastRequest{window.Clone()}).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor expected =
+      engine->mutable_model()
+          ->Forward(window.Reshape({1, 12, 10, 3}), false)
+          .value()
+          .Reshape({12, 10});
+  EXPECT_TENSOR_EQ(response.forecast, expected);
 }
 
 TEST(ForecastEngineTest, ShutdownDrainsQueuedRequests) {
