@@ -8,6 +8,8 @@
 
 #include "src/autograd/inference.h"
 #include "src/core/check.h"
+#include "src/core/logging.h"
+#include "src/core/parallel.h"
 #include "src/tensor/workspace.h"
 
 namespace dyhsl::serve {
@@ -54,6 +56,15 @@ Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
   if (options.max_queue < 0) {
     return Status::InvalidArgument("EngineOptions.max_queue must be >= 0");
   }
+  if (options.team_size < 0) {
+    return Status::InvalidArgument("EngineOptions.team_size must be >= 0");
+  }
+  for (int c : options.pin_cores) {
+    if (c < 0) {
+      return Status::InvalidArgument("EngineOptions.pin_cores has core id " +
+                                     std::to_string(c) + " < 0");
+    }
+  }
   if (!factory) {
     return Status::InvalidArgument("ForecastEngine needs a model factory");
   }
@@ -92,6 +103,19 @@ ForecastEngine::ForecastEngine(const train::ForecastTask& task,
                                const EngineOptions& options)
     : task_(task), options_(options), model_(std::move(model)) {
   stats_.effective_max_batch = options_.max_batch;
+  if (options_.team_size > 0) {
+    worker_team_ = static_cast<int>(options_.team_size);
+  } else {
+    // Auto partition: the creating thread's own team budget — the
+    // ConfigureParallelism default, or the enclosing TeamScope when a
+    // router is placing this engine into a slice — is split across the
+    // workers. One worker keeps the whole budget (legacy single-worker
+    // behavior); N workers get budget/N each, never a full team apiece.
+    worker_team_ = core::ThreadBudget::Partition(
+                       core::TeamThreads(),
+                       static_cast<int>(options_.num_workers))
+                       .team_size;
+  }
 }
 
 ForecastEngine::~ForecastEngine() { Shutdown(); }
@@ -166,6 +190,21 @@ EngineStats ForecastEngine::Snapshot() const {
 }
 
 void ForecastEngine::WorkerLoop() {
+  // Engine-to-core placement: pin before the first kernel so the lazily
+  // spawned OpenMP team inherits the mask and the whole engine stays on
+  // its cores. A failed pin is a performance event, not a correctness
+  // one — log and serve unpinned.
+  if (!options_.pin_cores.empty()) {
+    Status pinned = core::PinCurrentThread(options_.pin_cores);
+    if (!pinned.ok()) {
+      DYHSL_LOG(Warning) << "engine worker pin failed: " << pinned.ToString();
+    }
+  }
+  // Every kernel this worker runs — GEMM/SpMM via their explicit
+  // num_threads(core::TeamThreads()) clauses, the elementwise ops via
+  // this thread's OpenMP ICV — is scoped to the worker's ThreadBudget
+  // slice for the lifetime of the loop.
+  core::TeamScope team(worker_team_);
   // The warm per-worker arena: after the first few batches every forward
   // runs allocation-free out of recycled slabs.
   tensor::Workspace workspace;

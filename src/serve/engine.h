@@ -18,6 +18,13 @@
 // the request/response structs. Responses are heap-backed (never
 // arena-backed) so they stay valid for as long as the caller keeps them.
 //
+// Threading: each worker scopes its kernels to an OpenMP team of
+// team_size() threads (core::TeamScope), so num_workers engines never
+// multiply into workers x machine-wide teams; with
+// EngineOptions::pin_cores the workers additionally pin to the engine's
+// core set, making the engine the unit of placement (see
+// src/core/parallel.h and the RouterOptions placement policies).
+//
 // An engine serves exactly one (model, sensor range); a fleet of engines
 // behind a ForecastRouter (src/serve/router.h) serves many models and
 // sharded networks.
@@ -97,6 +104,19 @@ struct EngineOptions {
   /// then never waits max_delay_us for batch slots that cannot fill,
   /// while bursts still pack toward max_batch.
   bool adaptive_batch = false;
+  /// OpenMP team size each worker scopes its kernels to (core::TeamScope).
+  /// 0 = auto: the creating thread's own team budget (core::TeamThreads()
+  /// at Create time) is partitioned evenly across num_workers, so with
+  /// one worker the engine keeps today's whole-machine kernels and with
+  /// N workers the workers split the budget instead of each forking a
+  /// full team (num_workers x team <= budget — no oversubscription).
+  int64_t team_size = 0;
+  /// Optional engine-to-core placement: when non-empty, every worker
+  /// thread pins itself to exactly this core set before its first kernel
+  /// (OpenMP team threads inherit the mask, so the whole engine is
+  /// confined). A router partitioning shards across the machine fills
+  /// this per engine; a failed pin logs a warning and serves unpinned.
+  std::vector<int> pin_cores;
 };
 
 /// \brief Aggregate serving counters (monotonic since engine start except
@@ -159,6 +179,12 @@ class ForecastEngine {
   /// override); do not mutate parameters while serving.
   train::ForecastModel* mutable_model() { return model_.get(); }
   const EngineOptions& options() const { return options_; }
+  /// The resolved per-worker OpenMP team size (EngineOptions::team_size,
+  /// or the auto partition when that was 0). Workers hold a
+  /// core::TeamScope of exactly this size for their whole lifetime;
+  /// num_workers * team_size() never exceeds the budget the engine was
+  /// created under.
+  int team_size() const { return worker_team_; }
   /// Shard metadata of the loaded checkpoint (unsharded when the engine
   /// was created without one, or from a version-1/2 file).
   const train::ShardMeta& shard_meta() const { return shard_meta_; }
@@ -187,6 +213,8 @@ class ForecastEngine {
   EngineOptions options_;
   std::unique_ptr<train::ForecastModel> model_;
   train::ShardMeta shard_meta_;
+  /// Resolved OpenMP team size per worker (see team_size()).
+  int worker_team_ = 1;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/core/check.h"
+#include "src/core/parallel.h"
 #include "src/train/checkpoint.h"
 
 namespace dyhsl::serve {
@@ -13,6 +14,9 @@ Result<std::unique_ptr<ForecastRouter>> ForecastRouter::Create(
     const RouterOptions& options) {
   if (options.num_stitchers < 1) {
     return Status::InvalidArgument("RouterOptions.num_stitchers must be >= 1");
+  }
+  if (options.thread_budget < 0) {
+    return Status::InvalidArgument("RouterOptions.thread_budget must be >= 0");
   }
   std::unique_ptr<ForecastRouter> router(new ForecastRouter(options));
   for (int64_t s = 0; s < options.num_stitchers; ++s) {
@@ -49,6 +53,36 @@ void ForecastRouter::Shutdown() {
   }
 }
 
+EngineOptions ForecastRouter::PlaceEngineOptions(const EngineOptions& base,
+                                                 int64_t engine_index,
+                                                 int64_t num_engines) const {
+  EngineOptions placed = base;
+  if (options_.placement == Placement::kInherit) return placed;
+  const int budget =
+      options_.thread_budget > 0 ? static_cast<int>(options_.thread_budget)
+                                 : core::HardwareThreads();
+  // Shards are the parallel unit: each engine gets an equal slice of the
+  // budget, and its workers split the slice (workers x team <= slice).
+  const int slice = std::max<int>(1, budget / static_cast<int>(num_engines));
+  const core::ThreadBudget engine_budget = core::ThreadBudget::Partition(
+      slice, static_cast<int>(base.num_workers));
+  placed.num_workers = engine_budget.num_workers;
+  if (placed.team_size == 0) placed.team_size = engine_budget.team_size;
+  if (options_.placement == Placement::kPinned) {
+    // Engine i owns the i-th contiguous slice of the cores this process
+    // may run on. More engines than cores wraps around — engines then
+    // share cores but still never oversubscribe their slices.
+    const std::vector<int> cores = core::AvailableCores();
+    placed.pin_cores.clear();
+    placed.pin_cores.reserve(static_cast<size_t>(slice));
+    for (int c = 0; c < slice; ++c) {
+      placed.pin_cores.push_back(
+          cores[static_cast<size_t>(engine_index * slice + c) % cores.size()]);
+    }
+  }
+  return placed;
+}
+
 Status ForecastRouter::AddEntry(const std::string& name, ModelEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) {
@@ -68,8 +102,9 @@ Status ForecastRouter::AddModel(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("model name must be non-empty");
   }
-  auto created = ForecastEngine::Create(task, factory, checkpoint_path,
-                                        options);
+  auto created = ForecastEngine::Create(
+      task, factory, checkpoint_path,
+      PlaceEngineOptions(options, /*engine_index=*/0, /*num_engines=*/1));
   if (!created.ok()) return created.status();
 
   ModelEntry entry;
@@ -128,8 +163,9 @@ Status ForecastRouter::AddShardedModel(const std::string& name,
         checkpoint_prefix.empty()
             ? std::string()
             : train::ShardCheckpointSet::ShardPath(checkpoint_prefix, s);
-    auto created = ForecastEngine::Create(train::ShardTask(task, shard),
-                                          factory, path, options);
+    auto created = ForecastEngine::Create(
+        train::ShardTask(task, shard), factory, path,
+        PlaceEngineOptions(options, s, plan.num_shards()));
     if (!created.ok()) return created.status();
     entry.shards.push_back(shard);
     entry.engines.push_back(std::move(created).ValueOrDie());
@@ -351,6 +387,8 @@ RouterStats ForecastRouter::Stats() const {
       e.model = name;
       e.shard_id = entry.shards[s].shard_id;
       e.shard = entry.engines[s]->shard_meta();
+      e.num_workers = entry.engines[s]->options().num_workers;
+      e.team_size = entry.engines[s]->team_size();
       e.stats = entry.engines[s]->Snapshot();
       stats.total.requests += e.stats.requests;
       stats.total.batches += e.stats.batches;

@@ -48,24 +48,61 @@ struct RouterRequest {
   tensor::Tensor window;
 };
 
-/// \brief Per-engine stats snapshot, tagged with its fleet position.
+/// \brief Per-engine stats snapshot, tagged with its fleet position and
+/// resolved threading (workers x team as actually placed).
 struct EngineStatsEntry {
   std::string model;
   int64_t shard_id = 0;  // 0 for unsharded models
   train::ShardMeta shard;
+  /// Worker threads and per-worker OpenMP team the engine runs with
+  /// (after any router placement override).
+  int64_t num_workers = 1;
+  int64_t team_size = 1;
   EngineStats stats;
 };
 
 /// \brief Aggregated fleet statistics: the router's own counters plus a
-/// consistent per-engine Snapshot() of every engine.
+/// per-engine Snapshot() of every engine.
+///
+/// Consistency: all engine snapshots are taken in one pass under the
+/// router lock, and each snapshot is internally consistent (engine
+/// mutex), but engines keep serving while the pass walks the fleet — so
+/// `total` sums counters sampled microseconds apart. The monotonic
+/// counters (requests/batches/rejected) can therefore disagree with the
+/// router's own `requests` by at most the number of requests in flight
+/// during the pass, and `total.queue_depth` is an instant-by-instant
+/// approximation while traffic is moving. The totals are exact whenever
+/// the fleet is quiescent; in particular Shutdown() drains every engine,
+/// so post-shutdown stats always report queue_depth == 0 and stable
+/// totals — never a transient or inflated figure.
 struct RouterStats {
   /// Requests accepted by the router (fanned out to engines).
   int64_t requests = 0;
   /// Requests failed before fan-out (unknown model, bad window shape).
   int64_t routing_errors = 0;
-  /// Sum of every engine's counters.
+  /// Sum of every engine's counters (see consistency note above).
   EngineStats total;
   std::vector<EngineStatsEntry> engines;
+};
+
+/// \brief How the router spends the machine's cores across a model's
+/// engines (shards are the natural parallel unit).
+enum class Placement {
+  /// Engines keep the EngineOptions they were registered with; kernels
+  /// inherit the process-wide OpenMP default. The legacy single-core
+  /// behavior — engines time-slice one thread pool.
+  kInherit,
+  /// Divide `thread_budget` evenly across a model's engines: each engine
+  /// gets a budget/num_engines slice, its workers split the slice via
+  /// core::ThreadBudget (workers x team <= slice). Engines then run
+  /// concurrently without oversubscribing — a 2-shard fleet on 2 cores
+  /// runs both shard forwards in parallel.
+  kPartition,
+  /// kPartition plus engine-to-core pinning: engine i's workers (and
+  /// their OpenMP teams, which inherit the mask) are confined to the
+  /// i-th contiguous slice of core::AvailableCores(), so shards stop
+  /// migrating across each other's caches.
+  kPinned,
 };
 
 /// \brief Threading knobs for the router itself (engine knobs live in
@@ -73,6 +110,13 @@ struct RouterStats {
 struct RouterOptions {
   /// Threads stitching shard responses into global forecasts.
   int64_t num_stitchers = 2;
+  /// Engine-to-core placement policy applied at AddModel /
+  /// AddShardedModel time (registration order is placement order).
+  Placement placement = Placement::kInherit;
+  /// Threads divided among a model's engines under kPartition/kPinned;
+  /// 0 = core::HardwareThreads(). Each *model* gets the full budget
+  /// (models time-share the machine; shards within a model split it).
+  int64_t thread_budget = 0;
 };
 
 /// \brief Hosts one ForecastEngine per (model, shard) and routes global
@@ -146,6 +190,15 @@ class ForecastRouter {
   };
 
   explicit ForecastRouter(const RouterOptions& options);
+
+  /// Applies the placement policy to one engine's options: under
+  /// kPartition/kPinned, engine `engine_index` of `num_engines` gets an
+  /// equal thread_budget slice (workers clamped into it, team auto
+  /// unless explicitly set) and, when pinned, the matching contiguous
+  /// core slice. kInherit returns `base` untouched.
+  EngineOptions PlaceEngineOptions(const EngineOptions& base,
+                                   int64_t engine_index,
+                                   int64_t num_engines) const;
 
   Status AddEntry(const std::string& name, ModelEntry entry);
   void StitcherLoop();

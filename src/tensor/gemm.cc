@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/check.h"
+#include "src/core/parallel.h"
 #include "src/tensor/workspace.h"
 
 #ifdef _OPENMP
@@ -43,14 +44,6 @@ struct Scratch {
 Scratch* TlsScratch() {
   static thread_local Scratch scratch;
   return &scratch;
-}
-
-int64_t MaxThreads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
 }
 
 int64_t ThreadNum() {
@@ -374,10 +367,14 @@ void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
       shared_a ? 0 : CeilDiv(std::min<int64_t>(kMc, m), kMr) * kb_max * kMr;
   plan.task_b_floats = shared_b ? 0 : panels * kb_max * kNr;
   plan.task_stride = plan.task_a_floats + plan.task_b_floats;
+  // Intra-op team scoping: the region below is bounded by the calling
+  // thread's ThreadBudget slice (TeamScope), so an engine worker's GEMMs
+  // can never spawn a machine-wide team and oversubscribe its peers.
+  const int team = core::TeamThreads();
+  (void)team;  // consumed only by the pragma; unused without OpenMP
   if (Workspace* workspace = Workspace::Current()) {
-    const int64_t threads = MaxThreads();
     plan.arena = workspace->Allocate(shared_a_floats + shared_b_floats +
-                                     plan.task_stride * threads);
+                                     plan.task_stride * team);
     float* cursor = plan.arena.get();
     plan.shared_a = shared_a ? cursor : nullptr;
     cursor += shared_a_floats;
@@ -407,7 +404,7 @@ void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
     const int64_t tasks = batch * ic_blocks;
     // Deterministic per thread count: tasks partition the output, and each
     // element's accumulation order is fixed by the (p0, p) loop structure.
-#pragma omp parallel for schedule(static) \
+#pragma omp parallel for schedule(static) num_threads(team) \
     if (batch * m * n * kb > kParallelCutoff)
     for (int64_t t = 0; t < tasks; ++t) {
       const int64_t bi = t / ic_blocks;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/core/check.h"
+#include "src/core/parallel.h"
 
 namespace dyhsl::tensor {
 
@@ -22,7 +23,13 @@ void SpMMCore(int64_t batch, int64_t rows, const int64_t* row_ptr,
   const int64_t x_step = x_rows * f;
   const int64_t o_step = rows * f;
   const int64_t nnz = row_ptr[rows];
-#pragma omp parallel for collapse(2) if (batch * nnz * f > 16384)
+  // Scoped to the calling thread's ThreadBudget slice (see
+  // core::TeamScope): engine workers' sparse products stay inside their
+  // partition of the machine instead of each forking a full team.
+  const int team = core::TeamThreads();
+  (void)team;  // consumed only by the pragma; unused without OpenMP
+#pragma omp parallel for collapse(2) num_threads(team) \
+    if (batch * nnz * f > 16384)
   for (int64_t b = 0; b < batch; ++b) {
     for (int64_t r = 0; r < rows; ++r) {
       float* orow = po + b * o_step + r * f;
@@ -366,7 +373,10 @@ Tensor Sddmm(const CsrPattern& p, const Tensor& a, const Tensor& b) {
   float* po = out.data();
   const int64_t d = da.f;
   const int64_t batch = da.batch;
-#pragma omp parallel for if (p.nnz() * d * batch > 16384)
+  const int team = core::TeamThreads();
+  (void)team;  // consumed only by the pragma; unused without OpenMP
+#pragma omp parallel for num_threads(team) \
+    if (p.nnz() * d * batch > 16384)
   for (int64_t r = 0; r < p.rows; ++r) {
     for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       const int64_t c = col_idx[k];
@@ -386,7 +396,10 @@ void SddmmSliceInto(const CsrPattern& p, const float* a, const float* b,
                     int64_t d, float beta, float* out_values) {
   const int64_t* row_ptr = p.row_ptr.data();
   const int64_t* col_idx = p.col_idx.data();
-#pragma omp parallel for if (p.nnz() * d > 16384)
+  const int team = core::TeamThreads();
+  (void)team;  // consumed only by the pragma; unused without OpenMP
+#pragma omp parallel for num_threads(team) \
+    if (p.nnz() * d > 16384)
   for (int64_t r = 0; r < p.rows; ++r) {
     for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
       const float* arow = a + r * d;

@@ -1,8 +1,12 @@
-// Unit tests for core utilities: Status/Result, Rng, run profiles.
+// Unit tests for core utilities: Status/Result, Rng, run profiles, and
+// the ThreadBudget / TeamScope parallelism layer.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -124,6 +128,162 @@ TEST(ParallelismTest, HonorsCapAndOverride) {
   // Thread count is process-global OpenMP state; restore the default policy
   // so later tests in this binary are not pinned to one thread.
   ConfigureParallelism();
+}
+
+TEST(ParallelismTest, RejectsMalformedDyhslThreads) {
+  if (std::getenv("OMP_NUM_THREADS") != nullptr) {
+    GTEST_SKIP() << "OMP_NUM_THREADS set by the environment";
+  }
+  // Baseline: the hardware-cap branch with no override present at all.
+  ASSERT_EQ(unsetenv("DYHSL_THREADS"), 0);
+  const int baseline = ConfigureParallelism(/*max_threads=*/2);
+  // Every one of these used to be mis-parsed by atoi ("4abc" -> 4) or
+  // silently swallowed; strict parsing must treat them all exactly like
+  // an unset variable.
+  for (const char* junk : {"4abc", "0", "-3", "abc", "", "  ", "2.5",
+                           "99999999999999999999"}) {
+    ASSERT_EQ(setenv("DYHSL_THREADS", junk, /*overwrite=*/1), 0);
+    EXPECT_EQ(ConfigureParallelism(/*max_threads=*/2), baseline)
+        << "DYHSL_THREADS='" << junk << "'";
+  }
+  ASSERT_EQ(unsetenv("DYHSL_THREADS"), 0);
+  ConfigureParallelism();
+}
+
+TEST(ParallelismTest, DyhslThreadsIsCappedAtMaxThreads) {
+  if (std::getenv("OMP_NUM_THREADS") != nullptr) {
+    GTEST_SKIP() << "OMP_NUM_THREADS set by the environment";
+  }
+  ASSERT_EQ(setenv("DYHSL_THREADS", "64", /*overwrite=*/1), 0);
+  const int n = ConfigureParallelism(/*max_threads=*/2);
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 2);  // never 64, whatever the hardware
+  ASSERT_EQ(unsetenv("DYHSL_THREADS"), 0);
+  ConfigureParallelism();
+}
+
+TEST(ParallelismTest, OmpNumThreadsPathHonorsTheCap) {
+  // The early-return path used to hand back omp_get_max_threads()
+  // uncapped; the documented max_threads cap applies there too.
+  const bool had = std::getenv("OMP_NUM_THREADS") != nullptr;
+  if (!had) {
+    ASSERT_EQ(setenv("OMP_NUM_THREADS", "16", /*overwrite=*/1), 0);
+  }
+  const int n = ConfigureParallelism(/*max_threads=*/2);
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 2);
+  if (!had) {
+    ASSERT_EQ(unsetenv("OMP_NUM_THREADS"), 0);
+    ConfigureParallelism();
+  }
+}
+
+TEST(ThreadBudgetTest, PartitionNeverOversubscribes) {
+  for (int total = 1; total <= 9; ++total) {
+    for (int workers = 1; workers <= 12; ++workers) {
+      core::ThreadBudget budget = core::ThreadBudget::Partition(total, workers);
+      EXPECT_EQ(budget.total, total);
+      EXPECT_GE(budget.num_workers, 1);
+      EXPECT_GE(budget.team_size, 1);
+      EXPECT_LE(budget.num_workers * budget.team_size, total)
+          << total << " across " << workers;
+      EXPECT_LE(budget.num_workers, workers);
+    }
+  }
+}
+
+TEST(ThreadBudgetTest, PartitionSplitsAndClamps) {
+  core::ThreadBudget even = core::ThreadBudget::Partition(4, 2);
+  EXPECT_EQ(even.num_workers, 2);
+  EXPECT_EQ(even.team_size, 2);
+  // Leftover threads stay idle rather than oversubscribe.
+  core::ThreadBudget ragged = core::ThreadBudget::Partition(5, 2);
+  EXPECT_EQ(ragged.team_size, 2);
+  // More workers than threads: workers clamp to the budget.
+  core::ThreadBudget thin = core::ThreadBudget::Partition(2, 8);
+  EXPECT_EQ(thin.num_workers, 2);
+  EXPECT_EQ(thin.team_size, 1);
+  // Degenerate inputs clamp to one thread.
+  core::ThreadBudget degenerate = core::ThreadBudget::Partition(0, 0);
+  EXPECT_EQ(degenerate.total, 1);
+  EXPECT_EQ(degenerate.num_workers, 1);
+  EXPECT_EQ(degenerate.team_size, 1);
+}
+
+TEST(TeamScopeTest, OverridesNestsAndRestores) {
+  const int ambient = core::TeamThreads();
+  EXPECT_GE(ambient, 1);
+  {
+    core::TeamScope outer(3);
+    EXPECT_EQ(core::TeamThreads(), 3);
+    {
+      core::TeamScope inner(1);
+      EXPECT_EQ(core::TeamThreads(), 1);
+    }
+    EXPECT_EQ(core::TeamThreads(), 3);
+    {
+      core::TeamScope clamped(0);  // clamps to >= 1
+      EXPECT_EQ(core::TeamThreads(), 1);
+    }
+  }
+  EXPECT_EQ(core::TeamThreads(), ambient);
+}
+
+TEST(TeamScopeTest, ScopeIsThreadLocal) {
+  core::TeamScope mine(2);
+  int seen_in_peer = -1;
+  std::thread peer([&] { seen_in_peer = core::TeamThreads(); });
+  peer.join();
+  // The peer never entered a scope, so it sees the ambient default, not
+  // this thread's override.
+  EXPECT_EQ(core::TeamThreads(), 2);
+  EXPECT_NE(seen_in_peer, -1);
+  EXPECT_GE(seen_in_peer, 1);
+}
+
+TEST(ThreadBudgetTest, ScopedWorkersNeverExceedBudget) {
+  // The oversubscription regression: 2 workers, each scoping kernels to
+  // its ThreadBudget slice, must never have more than `total` kernel
+  // threads live at once — even when the ambient OpenMP default would
+  // give every worker a full team.
+  const core::ThreadBudget budget = core::ThreadBudget::Partition(4, 2);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(budget.num_workers));
+  for (int w = 0; w < budget.num_workers; ++w) {
+    workers.emplace_back([&] {
+      core::TeamScope team(budget.team_size);
+      for (int i = 0; i < 40; ++i) {
+        const int ran =
+            core::TeamConcurrencyProbe(&live, &peak, /*spin_micros=*/200);
+        EXPECT_GE(ran, 1);
+        EXPECT_LE(ran, budget.team_size);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_GE(peak.load(), 1);
+  EXPECT_LE(peak.load(), budget.total);
+}
+
+TEST(ParallelismTest, AvailableCoresMatchesHardwareThreads) {
+  const std::vector<int> cores = core::AvailableCores();
+  ASSERT_FALSE(cores.empty());
+  EXPECT_EQ(static_cast<int>(cores.size()), core::HardwareThreads());
+  EXPECT_TRUE(std::is_sorted(cores.begin(), cores.end()));
+  for (int c : cores) EXPECT_GE(c, 0);
+}
+
+TEST(ParallelismTest, PinCurrentThreadValidatesAndPins) {
+  EXPECT_EQ(core::PinCurrentThread({}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(core::PinCurrentThread({-1}).code(),
+            StatusCode::kInvalidArgument);
+  // Pin to everything we are already allowed to run on: must succeed and
+  // must not wedge this thread.
+  const std::vector<int> cores = core::AvailableCores();
+  Status pinned = core::PinCurrentThread(cores);
+  EXPECT_TRUE(pinned.ok()) << pinned.ToString();
 }
 
 TEST(ProfileTest, ParseNames) {

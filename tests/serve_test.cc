@@ -4,6 +4,7 @@
 // request validation.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -15,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "src/autograd/inference.h"
+#include "src/core/parallel.h"
 #include "src/serve/engine.h"
 #include "src/train/checkpoint.h"
 #include "src/train/model_zoo.h"
@@ -464,6 +466,142 @@ TEST(ForecastEngineTest, ServesZooModelThroughFactory) {
           .value()
           .Reshape({12, 10});
   EXPECT_TENSOR_EQ(response.forecast, expected);
+}
+
+// ------------------------------------------------------ thread budgeting --
+
+// A model whose Forward runs an OpenMP concurrency probe instead of math:
+// it records (through shared atomics) how many kernel threads were live at
+// once across every worker of every engine using it.
+class ProbeModel : public train::ForecastModel {
+ public:
+  ProbeModel(train::ForecastTask task, std::atomic<int>* live,
+             std::atomic<int>* peak)
+      : task_(std::move(task)), live_(live), peak_(peak) {}
+
+  autograd::Variable Forward(const tensor::Tensor& x, bool) override {
+    const int ran = core::TeamConcurrencyProbe(live_, peak_,
+                                               /*spin_micros=*/300);
+    team_seen_.store(std::max(team_seen_.load(), ran));
+    return autograd::Variable(
+        T::Tensor({x.shape()[0], task_.horizon, task_.num_nodes}));
+  }
+  std::vector<autograd::Variable> Parameters() const override { return {}; }
+  int64_t ParameterCount() const override { return 0; }
+  std::string name() const override { return "Probe"; }
+  int team_seen() const { return team_seen_.load(); }
+
+ private:
+  train::ForecastTask task_;
+  std::atomic<int>* live_;
+  std::atomic<int>* peak_;
+  std::atomic<int> team_seen_{0};
+};
+
+TEST(EngineThreadingTest, AutoTeamPartitionsTheCreatorsBudget) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  core::TeamScope budget(4);  // the thread creating the engines owns 4
+  EngineOptions two_workers;
+  two_workers.num_workers = 2;
+  auto split =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", two_workers))
+          .ValueOrDie();
+  EXPECT_EQ(split->team_size(), 2);  // 4 threads / 2 workers
+
+  EngineOptions solo;  // one worker keeps the whole budget
+  auto whole = std::move(ForecastEngine::Create(task, TinyConfig(), "", solo))
+                   .ValueOrDie();
+  EXPECT_EQ(whole->team_size(), 4);
+
+  EngineOptions pinned_team;  // an explicit team_size wins over auto
+  pinned_team.num_workers = 2;
+  pinned_team.team_size = 1;
+  auto narrow =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", pinned_team))
+          .ValueOrDie();
+  EXPECT_EQ(narrow->team_size(), 1);
+}
+
+TEST(EngineThreadingTest, CreateValidatesTeamSizeAndPinCores) {
+  train::ForecastTask task = RingForecastTask(8, 12);
+  EngineOptions bad;
+  bad.team_size = -1;
+  EXPECT_EQ(ForecastEngine::Create(task, TinyConfig(), "", bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  bad = EngineOptions();
+  bad.pin_cores = {0, -1};
+  EXPECT_EQ(ForecastEngine::Create(task, TinyConfig(), "", bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineThreadingTest, WorkersNeverOversubscribeTheBudget) {
+  // The regression this PR fixes: a multi-worker engine used to let every
+  // worker fork a machine-wide OpenMP team (workers x machine threads).
+  // With the budget scoped per worker, total live kernel threads across
+  // all workers must never exceed the creator's budget.
+  train::ForecastTask task = RingForecastTask(8, 12);
+  const core::ThreadBudget budget = core::ThreadBudget::Partition(4, 2);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  auto* probe = new ProbeModel(task, &live, &peak);
+  ModelFactory factory = [probe](const train::ForecastTask&) {
+    return std::unique_ptr<train::ForecastModel>(probe);
+  };
+  core::TeamScope creator(budget.total);
+  EngineOptions options;
+  options.num_workers = budget.num_workers;
+  options.max_batch = 1;  // every request is its own forward
+  options.max_delay_us = 0;
+  auto engine = std::move(ForecastEngine::Create(task, factory, "", options))
+                    .ValueOrDie();
+  ASSERT_EQ(engine->team_size(), budget.team_size);
+
+  T::Tensor window = RandomWindow(task, 17);
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().status.ok());
+  }
+  EXPECT_GE(peak.load(), 1);
+  EXPECT_LE(peak.load(), budget.total)
+      << "workers' teams oversubscribed the budget";
+  EXPECT_LE(probe->team_seen(), budget.team_size);
+}
+
+TEST(EngineThreadingTest, PinnedWorkersServeCorrectly) {
+  // Pinning confines the workers but must not change a single bit of the
+  // served forecasts (kernels are thread-count and placement invariant).
+  train::ForecastTask task = RingForecastTask(10, 12);
+  EngineOptions pinned;
+  pinned.num_workers = 2;
+  pinned.pin_cores = {core::AvailableCores().front()};
+  auto engine =
+      std::move(ForecastEngine::Create(task, TinyConfig(), "", pinned))
+          .ValueOrDie();
+  T::Tensor window = RandomWindow(task, 23);
+  T::Tensor expected;
+  {
+    autograd::InferenceModeGuard no_grad;
+    expected = (*engine->mutable_model())
+                   .Forward(window.Reshape({1, 12, 10, 3}), false)
+                   .value()
+                   .Reshape({12, 10});
+  }
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(engine->Submit(ForecastRequest{window.Clone()}));
+  }
+  for (auto& future : futures) {
+    ForecastResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TENSOR_EQ(response.forecast, expected);
+  }
 }
 
 TEST(ForecastEngineTest, ShutdownDrainsQueuedRequests) {

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "src/baselines/gnn_models.h"
+#include "src/core/parallel.h"
 #include "src/graph/shard.h"
 #include "src/graph/temporal_graph.h"
 #include "src/hypergraph/hypergraph.h"
@@ -603,6 +604,150 @@ TEST(ForecastRouterTest, StatsAggregateAcrossTheFleet) {
     EXPECT_GE(e.stats.batches, 1);
   }
   EXPECT_EQ(router->ModelNames(), (std::vector<std::string>{"m"}));
+}
+
+// ------------------------------------------------- placement + threading --
+
+TEST(RouterPlacementTest, PartitionDividesTheBudgetAcrossShards) {
+  train::ForecastTask task = RingForecastTask(64);
+  RouterOptions routing;
+  routing.placement = Placement::kPartition;
+  routing.thread_budget = 4;
+  auto router = std::move(ForecastRouter::Create(routing)).ValueOrDie();
+  EngineOptions engine_options;
+  engine_options.num_workers = 1;
+  ASSERT_TRUE(router
+                  ->AddShardedModel(
+                      "m", task, graph::ShardPlan::Build(task.spatial_adj, 2, 2),
+                      ZooFactory("STGCN", SmallZoo()), "", engine_options)
+                  .ok());
+  RouterStats stats = router->Stats();
+  ASSERT_EQ(stats.engines.size(), 2u);
+  for (const EngineStatsEntry& e : stats.engines) {
+    // 4 threads over 2 engines: each engine's workers x team fit its
+    // 2-thread slice — together they use the machine, never more.
+    EXPECT_GE(e.num_workers, 1);
+    EXPECT_GE(e.team_size, 1);
+    EXPECT_LE(e.num_workers * e.team_size, 2)
+        << "engine exceeded its budget slice";
+  }
+}
+
+TEST(RouterPlacementTest, SubmitStormThroughPartitionedMultiWorkerFleet) {
+  // The concurrency stress this PR is about: many client threads flooding
+  // a placement-partitioned fleet whose engines each run several workers.
+  // Every response must arrive, succeed, and be bit-identical.
+  train::ForecastTask task = RingForecastTask(128);
+  RouterOptions routing;
+  routing.placement = Placement::kPartition;
+  routing.thread_budget = 4;
+  auto router = std::move(ForecastRouter::Create(routing)).ValueOrDie();
+  ModelFactory factory = ZooFactory("STGCN", SmallZoo());
+  EngineOptions engine_options;
+  engine_options.num_workers = 2;
+  engine_options.max_batch = 4;
+  engine_options.max_delay_us = 500;
+  ASSERT_TRUE(router->AddModel("single", task, factory).ok());
+  ASSERT_TRUE(router
+                  ->AddShardedModel(
+                      "m", task, graph::ShardPlan::Build(task.spatial_adj, 2, 2),
+                      factory, "", engine_options)
+                  .ok());
+  T::Tensor window = RandomWindow(task, 47);
+  ForecastResponse reference =
+      router->Submit(RouterRequest{"single", window.Clone()}).get();
+  ASSERT_TRUE(reference.status.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<std::vector<std::future<ForecastResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[c].push_back(
+            router->Submit(RouterRequest{"m", window.Clone()}));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (auto& per_client : futures) {
+    for (auto& future : per_client) {
+      ForecastResponse response = future.get();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_LE(MaxAbsDiff(response.forecast, reference.forecast), 1e-5f);
+    }
+  }
+  RouterStats stats = router->Stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient + 1);
+  for (const EngineStatsEntry& e : stats.engines) {
+    if (e.model != "m") continue;
+    EXPECT_EQ(e.stats.requests, kClients * kPerClient);
+    EXPECT_LE(e.num_workers * e.team_size, 2);  // slice of the 4-budget
+  }
+}
+
+TEST(RouterPlacementTest, PinnedPlacementServesCorrectly) {
+  // kPinned adds core affinity on top of the partition; on any machine
+  // (1 core or 64) the fleet must still serve exact forecasts.
+  train::ForecastTask task = RingForecastTask(64);
+  RouterOptions routing;
+  routing.placement = Placement::kPinned;
+  routing.thread_budget = 2;
+  auto router = std::move(ForecastRouter::Create(routing)).ValueOrDie();
+  ModelFactory factory = ZooFactory("STGCN", SmallZoo());
+  ASSERT_TRUE(router->AddModel("single", task, factory).ok());
+  ASSERT_TRUE(router
+                  ->AddShardedModel(
+                      "pinned", task,
+                      graph::ShardPlan::Build(task.spatial_adj, 2, 2), factory)
+                  .ok());
+  T::Tensor window = RandomWindow(task, 53);
+  ForecastResponse single =
+      router->Submit(RouterRequest{"single", window.Clone()}).get();
+  ForecastResponse pinned =
+      router->Submit(RouterRequest{"pinned", window.Clone()}).get();
+  ASSERT_TRUE(single.status.ok());
+  ASSERT_TRUE(pinned.status.ok());
+  EXPECT_LE(MaxAbsDiff(pinned.forecast, single.forecast), 1e-5f);
+}
+
+TEST(RouterPlacementTest, CreateRejectsNegativeThreadBudget) {
+  RouterOptions routing;
+  routing.thread_budget = -1;
+  auto created = ForecastRouter::Create(routing);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ForecastRouterTest, PostShutdownStatsAreQuiescent) {
+  // The RouterStats contract: once Shutdown has drained the fleet, the
+  // totals are exact and stable — queue_depth 0, identical across calls.
+  train::ForecastTask task = RingForecastTask(32);
+  auto router = MakeRouter();
+  ASSERT_TRUE(router
+                  ->AddShardedModel(
+                      "m", task, graph::ShardPlan::Build(task.spatial_adj, 2, 1),
+                      ZooFactory("STGCN", SmallZoo()))
+                  .ok());
+  std::vector<std::future<ForecastResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        router->Submit(RouterRequest{"m", RandomWindow(task, i)}));
+  }
+  router->Shutdown();
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().status.ok());
+  }
+  RouterStats first = router->Stats();
+  EXPECT_EQ(first.requests, 6);
+  EXPECT_EQ(first.total.queue_depth, 0);
+  EXPECT_EQ(first.total.requests, 2 * 6);  // both shards saw every request
+  RouterStats second = router->Stats();
+  EXPECT_EQ(second.total.requests, first.total.requests);
+  EXPECT_EQ(second.total.batches, first.total.batches);
+  EXPECT_EQ(second.total.queue_depth, 0);
 }
 
 }  // namespace
