@@ -1,0 +1,142 @@
+// google-benchmark microbenchmarks isolating the SIMD selection kernels of
+// src/tensor/simd.h: scalar vs dispatched top-k selection, threshold count
+// and compress-store, in ns/element across row widths, tie densities and k.
+//
+//   $ ./build/bench_micro_select
+//   $ DYHSL_SIMD=scalar ./build/bench_micro_select   # force the reference
+//
+// items_processed counts matrix elements scanned, so the reported rate is
+// directly the per-element selection cost the DHSL sparse step pays.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/tensor/simd.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+namespace simd = ::dyhsl::tensor::simd;
+
+constexpr int64_t kRows = 256;  // batch of rows per iteration
+
+// Row data generators: random magnitudes, and the all-equal worst case for
+// tie handling (every round of the tournament scans a full tie group).
+T::Tensor RandomRows(int64_t n) {
+  Rng rng(5);
+  return T::Tensor::Randn({kRows, n}, &rng);
+}
+
+T::Tensor TiedRows(int64_t n) {
+  return T::Tensor::Full({kRows, n}, 0.7f);
+}
+
+void RunTopK(benchmark::State& state, const simd::Ops& ops,
+             const T::Tensor& rows, int64_t k) {
+  const int64_t n = rows.size(1);
+  std::vector<float> scratch(simd::TopKScratchFloats(n));
+  std::vector<int64_t> out(k);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < kRows; ++r) {
+      ops.topk_select(rows.data() + r * n, n, k, scratch.data(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * n);
+}
+
+void BM_TopKSelectScalar(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  RunTopK(state, simd::OpsFor(simd::Level::kScalar), rows, state.range(1));
+}
+
+void BM_TopKSelectActive(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+  RunTopK(state, simd::Active(), rows, state.range(1));
+}
+
+// (n, k) grid: the DHSL shapes (I=32 k=4, I=128 k=8), odd widths that
+// exercise the masked tails, and k ~ n/2 where selection work peaks.
+#define TOPK_ARGS                                              \
+  ->Args({32, 4})->Args({128, 8})->Args({33, 4})->Args({127, 8}) \
+      ->Args({64, 32})->Args({207, 16})
+BENCHMARK(BM_TopKSelectScalar) TOPK_ARGS;
+BENCHMARK(BM_TopKSelectActive) TOPK_ARGS;
+
+void BM_TopKSelectTiesScalar(benchmark::State& state) {
+  T::Tensor rows = TiedRows(state.range(0));
+  RunTopK(state, simd::OpsFor(simd::Level::kScalar), rows, state.range(1));
+}
+
+void BM_TopKSelectTiesActive(benchmark::State& state) {
+  T::Tensor rows = TiedRows(state.range(0));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+  RunTopK(state, simd::Active(), rows, state.range(1));
+}
+
+BENCHMARK(BM_TopKSelectTiesScalar)->Args({32, 4})->Args({128, 8});
+BENCHMARK(BM_TopKSelectTiesActive)->Args({32, 4})->Args({128, 8});
+
+void RunCount(benchmark::State& state, const simd::Ops& ops,
+              const T::Tensor& rows) {
+  const int64_t n = rows.size(1);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < kRows; ++r) {
+      benchmark::DoNotOptimize(
+          ops.count_ge_abs(rows.data() + r * n, n, 0.5f));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * n);
+}
+
+void BM_CountGeAbsScalar(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  RunCount(state, simd::OpsFor(simd::Level::kScalar), rows);
+}
+
+void BM_CountGeAbsActive(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+  RunCount(state, simd::Active(), rows);
+}
+
+BENCHMARK(BM_CountGeAbsScalar)->Arg(32)->Arg(128)->Arg(1024);
+BENCHMARK(BM_CountGeAbsActive)->Arg(32)->Arg(128)->Arg(1024);
+
+void RunCompress(benchmark::State& state, const simd::Ops& ops,
+                 const T::Tensor& rows) {
+  const int64_t n = rows.size(1);
+  std::vector<int32_t> idx(n);
+  for (auto _ : state) {
+    for (int64_t r = 0; r < kRows; ++r) {
+      benchmark::DoNotOptimize(
+          ops.compress_ge_abs(rows.data() + r * n, n, 0.5f, idx.data()));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * n);
+}
+
+void BM_CompressGeAbsScalar(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  RunCompress(state, simd::OpsFor(simd::Level::kScalar), rows);
+}
+
+void BM_CompressGeAbsActive(benchmark::State& state) {
+  T::Tensor rows = RandomRows(state.range(0));
+  state.SetLabel(simd::LevelName(simd::ActiveLevel()));
+  RunCompress(state, simd::Active(), rows);
+}
+
+BENCHMARK(BM_CompressGeAbsScalar)->Arg(32)->Arg(128)->Arg(1024);
+BENCHMARK(BM_CompressGeAbsActive)->Arg(32)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace dyhsl
+
+BENCHMARK_MAIN();

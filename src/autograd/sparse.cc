@@ -141,14 +141,8 @@ Variable GatherSparse(const Variable& dense, CsrPatternList patterns) {
 
   T::Tensor out({batch, nnz});
   for (int64_t b = 0; b < batch; ++b) {
-    const float* slab = dv.data() + b * rows * cols;
-    float* o = out.data() + b * nnz;
-    const auto& p = *patterns[b];
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t k = p.row_ptr[r]; k < p.row_ptr[r + 1]; ++k) {
-        o[k] = slab[r * cols + p.col_idx[k]];
-      }
-    }
+    T::GatherPatternSlice(*patterns[b], dv.data() + b * rows * cols,
+                          out.data() + b * nnz);
   }
   return MakeOpResult(
       std::move(out), {dense},

@@ -1,6 +1,8 @@
 #include "src/models/blocks.h"
 
+#include <atomic>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "src/autograd/inference.h"
@@ -12,6 +14,31 @@ namespace dyhsl::models {
 
 namespace ag = ::dyhsl::autograd;
 namespace T = ::dyhsl::tensor;
+
+namespace {
+
+// Pattern caches are looked up thread-locally by block id: Forward stays
+// const, concurrent serving workers never share mutable state, and each
+// warm worker keeps its own patterns across the requests it handles (the
+// per-session reuse the serve engine wants). Entries die with the thread.
+uint64_t NextCacheId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+T::TopKPatternCache& CacheForThread(uint64_t cache_id,
+                                    float drift_threshold) {
+  thread_local std::unordered_map<uint64_t, T::TopKPatternCache> registry;
+  auto it = registry.find(cache_id);
+  if (it == registry.end()) {
+    T::TopKPatternCache::Options opts;
+    opts.drift_threshold = drift_threshold;
+    it = registry.emplace(cache_id, T::TopKPatternCache(opts)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
 
 PriorGraphEncoder::PriorGraphEncoder(
     int64_t num_nodes, int64_t history, int64_t input_dim, int64_t hidden_dim,
@@ -66,16 +93,27 @@ Variable PriorGraphEncoder::Forward(const Variable& x) const {
 }
 
 DhslBlock::DhslBlock(int64_t hidden_dim, int64_t num_hyperedges, Rng* rng,
-                     StructureLearning mode, int64_t sparse_topk)
+                     StructureLearning mode, int64_t sparse_topk,
+                     bool pattern_reuse, float drift_threshold)
     : hidden_dim_(hidden_dim),
       num_hyperedges_(num_hyperedges),
       mode_(mode),
-      sparse_topk_(sparse_topk) {
+      sparse_topk_(sparse_topk),
+      pattern_reuse_(pattern_reuse),
+      drift_threshold_(drift_threshold),
+      cache_id_(NextCacheId()) {
   DYHSL_CHECK_GE(sparse_topk, 0);
   DYHSL_CHECK_MSG(sparse_topk <= num_hyperedges,
                   "sparse_topk " + std::to_string(sparse_topk) +
                       " exceeds num_hyperedges " +
                       std::to_string(num_hyperedges));
+  DYHSL_CHECK_MSG(!pattern_reuse || sparse_topk > 0,
+                  "pattern_reuse requires sparse_topk > 0");
+  if (pattern_reuse_) {
+    // Fail construction, not the first Forward, on a bad threshold.
+    DYHSL_CHECK_GE(drift_threshold_, 0.0f);
+    DYHSL_CHECK_LE(drift_threshold_, 1.0f);
+  }
   T::Tensor w = nn::GlorotUniform2D(hidden_dim, num_hyperedges, rng);
   if (mode_ == StructureLearning::kFixedRandom) {
     // "NSL": the incidence direction is frozen; hypergraph convolution
@@ -151,10 +189,22 @@ Variable DhslBlock::SparseForward(const Variable& h, const Variable& incidence,
   const int64_t rows = lam.size(1);
   ag::CsrPatternList patterns;
   patterns.reserve(batch);
-  for (int64_t b = 0; b < batch; ++b) {
-    patterns.push_back(
-        T::RowTopKPattern(lam.data() + b * rows * num_hyperedges_, rows,
-                          num_hyperedges_, sparse_topk_));
+  if (pattern_reuse_) {
+    // Reuse the previous step's pattern while drift stays under threshold;
+    // GatherSparse below refreshes the kept values either way (SDDMM-style
+    // O(nnz) gather), so a reuse skips only the O(R * I) selection.
+    T::TopKPatternCache& cache = CacheForThread(cache_id_, drift_threshold_);
+    for (int64_t b = 0; b < batch; ++b) {
+      patterns.push_back(
+          cache.SelectOrReuse(b, lam.data() + b * rows * num_hyperedges_,
+                              rows, num_hyperedges_, sparse_topk_));
+    }
+  } else {
+    for (int64_t b = 0; b < batch; ++b) {
+      patterns.push_back(
+          T::RowTopKPattern(lam.data() + b * rows * num_hyperedges_, rows,
+                            num_hyperedges_, sparse_topk_));
+    }
   }
   Variable values = ag::GatherSparse(incidence, patterns);  // (B, R*k)
   // Eq. 7: E = φ(U ΛᵀH) + ΛᵀH on the sparsified Λ.
@@ -167,6 +217,16 @@ Variable DhslBlock::SparseForward(const Variable& h, const Variable& incidence,
   return ag::MulScalar(
       ag::BatchedSparseDenseMatMul(patterns, values, edges, false),
       edge_scale);
+}
+
+T::TopKPatternCache::Stats DhslBlock::PatternCacheStats() const {
+  if (!pattern_reuse_) return {};
+  return CacheForThread(cache_id_, drift_threshold_).stats();
+}
+
+void DhslBlock::ClearPatternCache() const {
+  if (!pattern_reuse_) return;
+  CacheForThread(cache_id_, drift_threshold_).Clear();
 }
 
 IgcBlock::IgcBlock(int64_t hidden_dim, Rng* rng)

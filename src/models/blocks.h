@@ -5,6 +5,7 @@
 #ifndef DYHSL_MODELS_BLOCKS_H_
 #define DYHSL_MODELS_BLOCKS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -75,9 +76,18 @@ class DhslBlock : public nn::Module {
   /// paper's dense path; `sparse_topk == num_hyperedges` is the dense math
   /// on the sparse kernels (agreement asserted in tests). Ignored by the
   /// kFromScratch ablation, which has no incidence factorization.
+  ///
+  /// `pattern_reuse` additionally caches the selected CsrPattern across
+  /// forward passes (MHCE iterations, adjacent time steps): the pattern is
+  /// reused while at most `drift_threshold` of its rows have drifted (see
+  /// tensor::TopKPatternCache), and only the kept *values* are refreshed
+  /// via the O(nnz) gather. Caches are thread-local — concurrent serving
+  /// workers each keep their own warm patterns — so Forward stays const
+  /// and data-race free. Requires sparse_topk > 0.
   DhslBlock(int64_t hidden_dim, int64_t num_hyperedges, Rng* rng,
             StructureLearning mode = StructureLearning::kLowRank,
-            int64_t sparse_topk = 0);
+            int64_t sparse_topk = 0, bool pattern_reuse = false,
+            float drift_threshold = 0.05f);
 
   /// \brief One hypergraph convolution pass over H (B, R, d).
   Variable Forward(const Variable& h) const;
@@ -86,10 +96,19 @@ class DhslBlock : public nn::Module {
   Variable Incidence(const Variable& h) const;
 
   StructureLearning mode() const { return mode_; }
+  bool pattern_reuse() const { return pattern_reuse_; }
 
   /// \brief kFromScratch needs one (R x R) adjacency per sequence length;
   /// lengths must be declared before use (the model registers its scales).
   void RegisterSequenceLength(int64_t rows, Rng* rng);
+
+  /// \brief Select/reuse counters of the *calling thread's* pattern cache
+  /// (zeros when reuse is disabled or this thread never ran Forward).
+  tensor::TopKPatternCache::Stats PatternCacheStats() const;
+
+  /// \brief Drops the calling thread's cached patterns (tests; serving
+  /// sessions that want a cold start).
+  void ClearPatternCache() const;
 
  private:
   /// The Eq. 7/8 products on the top-k sparsified incidence.
@@ -100,6 +119,9 @@ class DhslBlock : public nn::Module {
   int64_t num_hyperedges_;
   StructureLearning mode_;
   int64_t sparse_topk_;
+  bool pattern_reuse_;
+  float drift_threshold_;
+  uint64_t cache_id_;  // key into the thread-local cache registry
   Variable incidence_weight_;  // (d, I); parameter for kLowRank,
                                // constant for kFixedRandom
   Variable edge_mixer_;        // U: (I, I)

@@ -29,7 +29,8 @@ DyHsl::DyHsl(const train::ForecastTask& task, const DyHslConfig& config)
                config.hidden_dim, config.prior_layers, prior_temporal_op_,
                &rng_),
       dhsl_(config.hidden_dim, config.num_hyperedges, &rng_,
-            config.structure_learning, config.sparse_topk),
+            config.structure_learning, config.sparse_topk,
+            config.sparse_pattern_reuse, config.sparse_drift_threshold),
       igc_(config.hidden_dim, &rng_),
       iter_norm_(config.hidden_dim),
       head_(2 * config.hidden_dim, task.horizon, &rng_) {

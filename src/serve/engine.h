@@ -18,6 +18,13 @@
 // the request/response structs. Responses are heap-backed (never
 // arena-backed) so they stay valid for as long as the caller keeps them.
 //
+// Sparse models served with DyHslConfig::sparse_pattern_reuse keep their
+// top-k CSR patterns in *thread-local* caches (see tensor::TopKPatternCache),
+// so each warm worker reuses the patterns of the requests it served before
+// — per-worker/session reuse with zero cross-worker sharing. The cached
+// patterns are heap-backed shared_ptrs, unaffected by the per-worker
+// Workspace arena resets between flushes.
+//
 // Threading: each worker scopes its kernels to an OpenMP team of
 // team_size() threads (core::TeamScope), so num_workers engines never
 // multiply into workers x machine-wide teams; with

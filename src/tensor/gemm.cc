@@ -6,6 +6,7 @@
 
 #include "src/core/check.h"
 #include "src/core/parallel.h"
+#include "src/tensor/simd.h"
 #include "src/tensor/workspace.h"
 
 #ifdef _OPENMP
@@ -274,9 +275,22 @@ void MicroKernel2(int64_t kb, const float* __restrict__ ap,
 
 #endif
 
-// Writes the valid (mr x nr) corner of the accumulator tile into C.
+// Writes the valid (mr x nr) corner of the accumulator tile into C. Full-
+// width tiles keep the inlined unit-stride loops (the compiler already
+// vectorizes the fixed nr == kNr trip count); the column-tail tiles go
+// through the runtime SIMD dispatch (src/tensor/simd.h), whose masked
+// stores replace the scalar peel the autovectorizer emits for a variable
+// nr. The arithmetic per element is identical either way (beta * c + acc
+// in the same order), so results stay bit-identical across paths.
 void WriteTile(const float* acc, float* c, int64_t ldc, int64_t mr,
                int64_t nr, float beta) {
+  if (nr < kNr) {
+    const simd::Ops& ops = simd::Active();
+    for (int64_t i = 0; i < mr; ++i) {
+      ops.tile_row_update(acc + i * kNr, c + i * ldc, nr, beta);
+    }
+    return;
+  }
   for (int64_t i = 0; i < mr; ++i) {
     float* crow = c + i * ldc;
     const float* arow = acc + i * kNr;

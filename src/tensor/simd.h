@@ -1,0 +1,106 @@
+// Runtime-dispatched SIMD utility layer for the selection/compaction
+// micro-kernels of the sparse execution path.
+//
+// The DHSL sparse mode pays a per-step top-k selection over the learned
+// incidence Λ (RowTopKPattern); profiled at ~6 ns/element, the branchy
+// scalar insertion select — not the sparse products — was what kept the
+// sparse step slower than dense. The primitives here vectorize that wall:
+//
+//  * count_ge_abs     — horizontal threshold count, #{i : |x[i]| >= t}
+//  * compress_ge_abs  — masked compress-store of the indices that pass the
+//                       same predicate (ascending order)
+//  * topk_select      — selection of the k largest-|v| columns of a row
+//                       without data-dependent insertion shifts
+//  * tile_row_update  — masked partial-row write-back, shared with the
+//                       GEMM micro-kernel's column-tail tiles
+//
+// Dispatch model: the best instruction set (scalar / AVX2 / AVX-512) is
+// detected once at startup via cpuid and resolved into a function table;
+// `Active()` returns that table, `OpsFor(level)` exposes every compiled
+// level so tests can assert the vector paths are bit-identical to the
+// scalar reference. The environment variable DYHSL_SIMD=scalar|avx2|avx512
+// forces a level at or below what the CPU supports (requests above support
+// are clamped with a warning; unknown values are ignored with a warning).
+//
+// Determinism: every primitive is pure integer/compare/gather work — no
+// reassociated float accumulation — so all levels produce *identical*
+// results on NaN-free input, including denormals (the kernels never enable
+// FTZ/DAZ; this translation unit must not be compiled with -ffast-math).
+// Selection ties break toward the lower column index at every level,
+// matching the documented RowTopK contract.
+
+#ifndef DYHSL_TENSOR_SIMD_H_
+#define DYHSL_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace dyhsl::tensor::simd {
+
+/// \brief Instruction-set levels the dispatcher can select. Levels are
+/// ordered: a CPU supporting kAvx512 also runs the kAvx2 and kScalar
+/// tables.
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// \brief Human-readable level name ("scalar", "avx2", "avx512").
+const char* LevelName(Level level);
+
+/// \brief Widest vector width (floats) any level may touch. topk_select
+/// scratch buffers must be padded to a multiple of this.
+constexpr int64_t kMaxLanes = 16;
+
+/// \brief Scratch floats required by topk_select for an n-column row.
+constexpr int64_t TopKScratchFloats(int64_t n) {
+  return (n + kMaxLanes - 1) / kMaxLanes * kMaxLanes;
+}
+
+/// \brief The per-level function table. All function pointers are non-null
+/// at every level.
+struct Ops {
+  /// #{i in [0, n) : |x[i]| >= t}. NaN entries never count.
+  int64_t (*count_ge_abs)(const float* x, int64_t n, float t);
+
+  /// Writes the indices i with |x[i]| >= t to out_idx in ascending order
+  /// (capacity n) and returns how many passed.
+  int64_t (*compress_ge_abs)(const float* x, int64_t n, float t,
+                             int32_t* out_idx);
+
+  /// Selects the k largest-magnitude entries of row[0, n), ties toward the
+  /// lower index, and writes their indices to out_idx (capacity k) in
+  /// ascending index order. Requires 1 <= k <= n. scratch must hold
+  /// TopKScratchFloats(n) floats; its contents are clobbered.
+  void (*topk_select)(const float* row, int64_t n, int64_t k, float* scratch,
+                      int64_t* out_idx);
+
+  /// c[0, n) = beta * c + acc for the partial-width tiles of the GEMM
+  /// write-back (beta 0 overwrites, 1 accumulates). n <= kMaxLanes.
+  void (*tile_row_update)(const float* acc, float* c, int64_t n, float beta);
+};
+
+/// \brief Best level the CPU supports (cpuid probe, cached; ignores the
+/// environment override).
+Level DetectedLevel();
+
+/// \brief The level Active() resolved to: DetectedLevel() clamped by the
+/// DYHSL_SIMD override. Resolved once, on first use.
+Level ActiveLevel();
+
+/// \brief Function table for an explicit level (tests compare vector paths
+/// against OpsFor(Level::kScalar)). Levels above DetectedLevel() return
+/// valid pointers but must not be called on unsupported hardware.
+const Ops& OpsFor(Level level);
+
+namespace internal {
+/// Resolves DetectedLevel() + DYHSL_SIMD into a table (logs the choice).
+const Ops* ResolveActiveOnce();
+}  // namespace internal
+
+/// \brief The startup-selected function table every kernel dispatches
+/// through.
+inline const Ops& Active() {
+  static const Ops* ops = internal::ResolveActiveOnce();
+  return *ops;
+}
+
+}  // namespace dyhsl::tensor::simd
+
+#endif  // DYHSL_TENSOR_SIMD_H_

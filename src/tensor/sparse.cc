@@ -6,6 +6,7 @@
 
 #include "src/core/check.h"
 #include "src/core/parallel.h"
+#include "src/tensor/simd.h"
 
 namespace dyhsl::tensor {
 
@@ -251,39 +252,111 @@ std::shared_ptr<const CsrPattern> RowTopKPattern(const float* data,
   p->row_ptr.resize(rows + 1);
   for (int64_t r = 0; r <= rows; ++r) p->row_ptr[r] = r * k;
   p->col_idx.resize(rows * k);
-  // Insertion-select the k largest magnitudes per row. The buffer is held
-  // magnitude-descending and starts at -1, below every |v|, so the scan
-  // needs no fill-phase bookkeeping: the common case is one compare
-  // against the running k-th magnitude (`mag[k-1]`), and only the expected
-  // O(k log(cols/k)) improving candidates pay the shift. A strict > on an
-  // ascending column scan reproduces RowTopK's tie rule (equal magnitude
-  // keeps the lower column).
-  std::vector<float> mag(k);
-  std::vector<int64_t> idx(k);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = data + r * cols;
-    std::fill(mag.begin(), mag.end(), -1.0f);
-    for (int64_t c = 0; c < cols; ++c) {
-      float a = std::fabs(row[c]);
-      if (a <= mag[k - 1]) continue;
-      int64_t pos = k - 1;
-      while (pos > 0 && mag[pos - 1] < a) {
-        mag[pos] = mag[pos - 1];
-        idx[pos] = idx[pos - 1];
-        --pos;
+  // Per-row selection through the startup-dispatched SIMD table: identical
+  // indices at every level (largest magnitude, ties toward the lower
+  // column, ascending output — the documented RowTopK contract). Rows are
+  // independent, so the loop parallelizes with per-thread scratch and
+  // stays bit-identical for every thread count.
+  const simd::Ops& ops = simd::Active();
+  const int select_team = core::TeamThreads();
+  (void)select_team;
+#pragma omp parallel num_threads(select_team) if (rows * cols > 16384)
+  {
+    std::vector<float> scratch(simd::TopKScratchFloats(cols));
+#pragma omp for
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = data + r * cols;
+      int64_t* cidx = p->col_idx.data() + r * k;
+      ops.topk_select(row, cols, k, scratch.data(), cidx);
+      if (out_values != nullptr) {
+        for (int64_t i = 0; i < k; ++i) out_values[r * k + i] = row[cidx[i]];
       }
-      mag[pos] = a;
-      idx[pos] = c;
-    }
-    int64_t* cidx = p->col_idx.data() + r * k;
-    std::copy(idx.begin(), idx.end(), cidx);
-    std::sort(cidx, cidx + k);
-    if (out_values != nullptr) {
-      for (int64_t i = 0; i < k; ++i) out_values[r * k + i] = row[cidx[i]];
     }
   }
   BuildPatternTranspose(p.get());
   return p;
+}
+
+void GatherPatternSlice(const CsrPattern& p, const float* dense,
+                        float* out_values) {
+  const int64_t cols = p.cols;
+  const int team = core::TeamThreads();
+  (void)team;
+#pragma omp parallel for num_threads(team) if (p.nnz() > 16384)
+  for (int64_t r = 0; r < p.rows; ++r) {
+    const float* row = dense + r * cols;
+    for (int64_t k = p.row_ptr[r]; k < p.row_ptr[r + 1]; ++k) {
+      out_values[k] = row[p.col_idx[k]];
+    }
+  }
+}
+
+int64_t CountDriftedRows(const CsrPattern& p, const float* dense) {
+  DYHSL_CHECK_GT(p.rows, 0);
+  const int64_t k = p.nnz() / p.rows;
+  DYHSL_CHECK_EQ(p.nnz(), p.rows * k);  // uniform-k (RowTopKPattern) only
+  const simd::Ops& ops = simd::Active();
+  const int64_t cols = p.cols;
+  const int team = core::TeamThreads();
+  (void)team;
+  int64_t drifted = 0;
+#pragma omp parallel for num_threads(team) reduction(+ : drifted) \
+    if (p.rows * cols > 16384)
+  for (int64_t r = 0; r < p.rows; ++r) {
+    const float* row = dense + r * cols;
+    const int64_t* cidx = p.col_idx.data() + r * k;
+    // Weakest kept magnitude under the *current* values...
+    float t = std::fabs(row[cidx[0]]);
+    for (int64_t i = 1; i < k; ++i) {
+      t = std::min(t, std::fabs(row[cidx[i]]));
+    }
+    // ...and the vectorized margin test: exactly the k kept entries reach
+    // it iff the kept set is still the exact top-k. Any non-kept entry at
+    // or above t (a flipped k-th/(k+1)-th margin) inflates the count;
+    // boundary ties inflate it too, which errs toward re-selection.
+    if (ops.count_ge_abs(row, cols, t) != k) ++drifted;
+  }
+  return drifted;
+}
+
+TopKPatternCache::TopKPatternCache() : TopKPatternCache(Options()) {}
+
+TopKPatternCache::TopKPatternCache(Options options) : options_(options) {
+  DYHSL_CHECK_GE(options_.drift_threshold, 0.0f);
+  DYHSL_CHECK_LE(options_.drift_threshold, 1.0f);
+}
+
+void TopKPatternCache::Clear() { entries_.clear(); }
+
+std::shared_ptr<const CsrPattern> TopKPatternCache::SelectOrReuse(
+    int64_t slot, const float* data, int64_t rows, int64_t cols, int64_t k) {
+  DYHSL_CHECK_GE(k, 1);
+  k = std::min(k, cols);
+  Entry* entry = nullptr;
+  for (Entry& e : entries_) {
+    if (e.slot == slot && e.rows == rows && e.cols == cols && e.k == k) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    entries_.push_back({slot, rows, cols, k, nullptr});
+    entry = &entries_.back();
+  }
+  if (entry->pattern != nullptr) {
+    const int64_t drifted = CountDriftedRows(*entry->pattern, data);
+    stats_.drifted_rows += drifted;
+    if (static_cast<float>(drifted) <=
+        options_.drift_threshold * static_cast<float>(rows)) {
+      ++stats_.reuses;
+      return entry->pattern;
+    }
+    ++stats_.drift_reselects;
+  } else {
+    ++stats_.selects;
+  }
+  entry->pattern = RowTopKPattern(data, rows, cols, k);
+  return entry->pattern;
 }
 
 Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
@@ -438,18 +511,15 @@ CsrMatrix RowTopKSlice(const float* data, int64_t rows, int64_t cols,
   k = std::min(k, cols);
   std::vector<Triplet> triplets;
   triplets.reserve(rows * k);
-  std::vector<int64_t> order(cols);
+  // Same dispatched selection as RowTopKPattern: largest magnitude first,
+  // equal magnitudes break toward the lower column index, deterministic at
+  // every dispatch level.
+  const simd::Ops& ops = simd::Active();
+  std::vector<float> scratch(simd::TopKScratchFloats(cols));
+  std::vector<int64_t> order(k);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = data + r * cols;
-    std::iota(order.begin(), order.end(), int64_t{0});
-    // Largest magnitude first; equal magnitudes break toward the lower
-    // column index, making the selection deterministic.
-    std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                      [row](int64_t i, int64_t j) {
-                        float ai = std::fabs(row[i]), aj = std::fabs(row[j]);
-                        return ai != aj ? ai > aj : i < j;
-                      });
-    std::sort(order.begin(), order.begin() + k);
+    ops.topk_select(row, cols, k, scratch.data(), order.data());
     size_t row_begin = triplets.size();
     double row_sum = 0.0;
     if (renormalize) {
@@ -472,16 +542,27 @@ CsrMatrix RowTopK(const Tensor& dense, int64_t k, bool renormalize) {
 CsrMatrix RowThreshold(const Tensor& dense, float threshold,
                        bool renormalize) {
   DYHSL_CHECK_EQ(dense.dim(), 2);
+  // A negative threshold keeps every entry — a densify disguised as a
+  // sparsify, always a caller bug.
+  DYHSL_CHECK_GE(threshold, 0.0f);
   const int64_t rows = dense.size(0), cols = dense.size(1);
   const float* data = dense.data();
   std::vector<Triplet> triplets;
+  // Vectorized predicate + compress-store of the surviving columns; the
+  // triplet build then only touches survivors.
+  const simd::Ops& ops = simd::Active();
+  std::vector<int32_t> kept(cols);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = data + r * cols;
     size_t row_begin = triplets.size();
     double row_sum = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      if (renormalize) row_sum += row[c];
-      if (std::fabs(row[c]) >= threshold) triplets.push_back({r, c, row[c]});
+    if (renormalize) {
+      for (int64_t c = 0; c < cols; ++c) row_sum += row[c];
+    }
+    const int64_t count = ops.compress_ge_abs(row, cols, threshold,
+                                              kept.data());
+    for (int64_t i = 0; i < count; ++i) {
+      triplets.push_back({r, kept[i], row[kept[i]]});
     }
     if (renormalize) RenormalizeRow(&triplets, row_begin, row_sum);
   }

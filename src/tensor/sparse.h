@@ -169,16 +169,104 @@ CsrMatrix RowTopKSlice(const float* data, int64_t rows, int64_t cols,
 /// RowTopK (largest magnitude, ties toward the lower column); every row
 /// keeps exactly min(k, cols) entries so row_ptr is implicit. When
 /// `out_values` is non-null it receives the kept entries (length
-/// rows * min(k, cols)) in pattern order.
+/// rows * min(k, cols)) in pattern order. Selection runs on the
+/// runtime-dispatched SIMD layer (src/tensor/simd.h); all dispatch levels
+/// are bit-identical, so the pattern never depends on the host ISA.
 std::shared_ptr<const CsrPattern> RowTopKPattern(const float* data,
                                                  int64_t rows, int64_t cols,
                                                  int64_t k,
                                                  float* out_values = nullptr);
 
-/// \brief Keeps entries with |value| >= threshold (rows may become empty).
-/// `renormalize` as in RowTopK.
+/// \brief Keeps entries with |value| >= threshold (rows may become empty;
+/// threshold must be >= 0 — a negative threshold would silently keep
+/// everything and is rejected). `renormalize` as in RowTopK, with the same
+/// nonpositive-kept-sum guard: a row whose entries are all dropped (or
+/// whose kept sum is not positive) is left unscaled rather than divided by
+/// zero, so thresholding can never introduce NaNs — but such a row no
+/// longer preserves its original sum. Callers that need row-stochastic
+/// outputs must pick thresholds below each row's maximum.
 CsrMatrix RowThreshold(const Tensor& dense, float threshold,
                        bool renormalize = false);
+
+/// \brief Gathers the entries of a row-major (rows x cols) dense slab at
+/// the pattern's structural nonzeros into `out_values` (length nnz,
+/// pattern order) — the O(nnz) SDDMM-style value refresh that replaces
+/// re-selection when a cached pattern is reused.
+void GatherPatternSlice(const CsrPattern& p, const float* dense,
+                        float* out_values);
+
+/// \brief Counts the rows of a uniform-k top-k pattern whose selection is
+/// no longer exactly the top-k of `dense` (rows x cols, row-major): a row
+/// has drifted when its k-th/(k+1)-th magnitude margin flipped, i.e. some
+/// non-kept entry now matches or exceeds the weakest kept one. The check
+/// is conservative (boundary ties count as drift) and vectorized — one
+/// k-entry gather plus one horizontal threshold count per row. `p` must
+/// come from RowTopKPattern (every row holds exactly nnz/rows entries).
+int64_t CountDriftedRows(const CsrPattern& p, const float* dense);
+
+/// \brief Reuses top-k CsrPatterns across steps, amortizing selection.
+///
+/// The DHSL sparse step re-selected the top-k of Λ every MHCE iteration
+/// and every time step, O(rows * cols) each, even though the learned
+/// pattern barely moves between adjacent steps. SelectOrReuse instead
+/// keeps the last pattern per (slot, rows, cols, k) stream and runs the
+/// CountDriftedRows check (O(rows * cols / lanes)): while the drifted-row
+/// fraction stays at or below `drift_threshold`, the cached pattern is
+/// returned and callers refresh values with an O(nnz) gather; past it, a
+/// fresh selection replaces the cache entry.
+///
+/// Exactness: a reuse with zero drifted rows is *exact* — the cached
+/// pattern equals what fresh selection would produce, so downstream
+/// products and gradients are identical. With 0 < drifted <= threshold *
+/// rows the pattern is stale on the drifted rows only: products are
+/// approximate there, and gradients remain the exact subgradients of the
+/// *cached* selection (hard top-k is piecewise constant in its pattern).
+/// drift_threshold = 0 reuses only exact patterns.
+///
+/// Not thread-safe: intended to live thread-local (one per serving worker
+/// or training loop), which also keeps patterns warm per session.
+class TopKPatternCache {
+ public:
+  struct Options {
+    /// Fraction of rows allowed to drift before re-selecting, in [0, 1].
+    float drift_threshold = 0.05f;
+  };
+
+  struct Stats {
+    int64_t selects = 0;          ///< fresh selections (cold or shape change)
+    int64_t reuses = 0;           ///< cache hits (drift at or below threshold)
+    int64_t drift_reselects = 0;  ///< re-selections forced by drift
+    int64_t drifted_rows = 0;     ///< total drifted rows seen on reuse checks
+  };
+
+  TopKPatternCache();
+  explicit TopKPatternCache(Options options);
+
+  /// \brief Pattern for the (rows x cols) row-major slab: cached when the
+  /// drift check passes, freshly selected otherwise. `slot` separates
+  /// independent streams sharing this cache (e.g. batch items).
+  std::shared_ptr<const CsrPattern> SelectOrReuse(int64_t slot,
+                                                  const float* data,
+                                                  int64_t rows, int64_t cols,
+                                                  int64_t k);
+
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+  void Clear();
+
+ private:
+  struct Entry {
+    int64_t slot;
+    int64_t rows;
+    int64_t cols;
+    int64_t k;
+    std::shared_ptr<const CsrPattern> pattern;
+  };
+
+  Options options_;
+  Stats stats_;
+  std::vector<Entry> entries_;  // a handful of (slot, shape) streams
+};
 
 /// \brief CSR matrix bundled with its transpose so autograd can run the
 /// backward product without rebuilding structure every step.

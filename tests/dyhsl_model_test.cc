@@ -244,7 +244,76 @@ TEST_F(DyHslModelTest, SparseTopKGradFreeBitIdenticalToTaped) {
   EXPECT_TENSOR_EQ(grad_free, taped);
 }
 
+TEST_F(DyHslModelTest, PatternReuseAgreesWithSelectEveryStep) {
+  // The tentpole acceptance bar: at the default drift threshold, the
+  // cached-pattern model must agree with fresh selection to <= 1e-4
+  // relative on repeated forwards over the same and near-identical inputs.
+  DyHslConfig fresh_cfg = config_;
+  fresh_cfg.sparse_topk = 2;
+  DyHslConfig reuse_cfg = fresh_cfg;
+  reuse_cfg.sparse_pattern_reuse = true;
+  DyHsl fresh_model(task_, fresh_cfg);
+  DyHsl reuse_model(task_, reuse_cfg);
+  tensor::Tensor x = MakeBatch(2);
+  for (int step = 0; step < 3; ++step) {
+    // Same parameters (same seed) -> same Λ; repeated steps exercise the
+    // reuse path after the first.
+    T::Tensor want = fresh_model.Forward(x, false).value();
+    T::Tensor got = reuse_model.Forward(x, false).value();
+    EXPECT_LE(MaxRelDiff(got, want), 1e-4f) << "step " << step;
+  }
+}
+
+TEST_F(DyHslModelTest, PatternReuseCacheStatsShowReuses) {
+  DyHslConfig cfg = config_;
+  cfg.sparse_topk = 2;
+  cfg.sparse_pattern_reuse = true;
+  DyHsl model(task_, cfg);
+  tensor::Tensor x = MakeBatch(2);
+  model.Forward(x, false);
+  auto cold = model.dhsl().PatternCacheStats();
+  EXPECT_GT(cold.selects, 0);
+  model.Forward(x, false);
+  auto warm = model.dhsl().PatternCacheStats();
+  // Identical input and parameters: every selection after the first
+  // forward's cold misses is a zero-drift reuse.
+  EXPECT_GT(warm.reuses, cold.reuses);
+  EXPECT_EQ(warm.selects, cold.selects);
+  EXPECT_EQ(warm.drift_reselects, 0);
+  model.dhsl().ClearPatternCache();
+  model.Forward(x, false);
+  EXPECT_GT(model.dhsl().PatternCacheStats().selects, warm.selects);
+}
+
+TEST_F(DyHslModelTest, PatternReuseGradientsStayFiniteAndComplete) {
+  DyHslConfig cfg = config_;
+  cfg.sparse_topk = 2;
+  cfg.sparse_pattern_reuse = true;
+  DyHsl model(task_, cfg);
+  tensor::Tensor x = MakeBatch(2);
+  model.Forward(x, false);  // warm the cache so training hits reuse
+  ag::Variable pred = model.Forward(x, /*training=*/true);
+  ag::MeanAll(pred).Backward();
+  for (const auto& param : model.Parameters()) {
+    EXPECT_TRUE(param.has_grad());
+  }
+}
+
 using DyHslModelDeathTest = DyHslModelTest;
+
+TEST_F(DyHslModelDeathTest, RejectsPatternReuseWithoutSparseTopK) {
+  DyHslConfig cfg = config_;
+  cfg.sparse_pattern_reuse = true;  // but sparse_topk stays 0
+  EXPECT_DEATH(DyHsl(task_, cfg), "pattern_reuse requires sparse_topk");
+}
+
+TEST_F(DyHslModelDeathTest, RejectsOutOfRangeDriftThreshold) {
+  DyHslConfig cfg = config_;
+  cfg.sparse_topk = 2;
+  cfg.sparse_pattern_reuse = true;
+  cfg.sparse_drift_threshold = -0.5f;
+  EXPECT_DEATH(DyHsl(task_, cfg), "drift_threshold");
+}
 
 TEST_F(DyHslModelDeathTest, RejectsSparseTopKAboveHyperedgeCount) {
   DyHslConfig cfg = config_;

@@ -316,6 +316,34 @@ TEST(ForecastEngineTest, ServesSparseTopKModelGradFree) {
   EXPECT_TRUE(dyhsl::testing::TensorEq(response.forecast, direct));
 }
 
+TEST(ForecastEngineTest, ServesPatternReuseModelMatchingFreshSelection) {
+  // Pattern reuse must be transparent to serving: a reuse-enabled engine's
+  // responses match a select-every-step engine's bit for bit on identical
+  // windows (identical seeds -> identical parameters; zero-drift reuses
+  // are exact), including on repeat submissions that hit the worker's
+  // warm thread-local cache.
+  train::ForecastTask task = RingForecastTask(10, 12);
+  models::DyHslConfig fresh_cfg = TinyConfig();
+  fresh_cfg.sparse_topk = 2;
+  models::DyHslConfig reuse_cfg = fresh_cfg;
+  reuse_cfg.sparse_pattern_reuse = true;
+  auto fresh_engine =
+      std::move(ForecastEngine::Create(task, fresh_cfg)).ValueOrDie();
+  auto reuse_engine =
+      std::move(ForecastEngine::Create(task, reuse_cfg)).ValueOrDie();
+  T::Tensor window = RandomWindow(task, 4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    ForecastResponse want =
+        fresh_engine->Submit(ForecastRequest{window.Clone()}).get();
+    ForecastResponse got =
+        reuse_engine->Submit(ForecastRequest{window.Clone()}).get();
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_TRUE(dyhsl::testing::TensorEq(got.forecast, want.forecast))
+        << "repeat " << repeat;
+  }
+}
+
 TEST(ForecastEngineTest, AdaptiveBatchServesShallowQueueImmediately) {
   // With a huge max_delay and adaptive batching OFF, a lone request waits
   // out the full delay for batch slots that never fill. Adaptive batching

@@ -24,6 +24,7 @@
 #include "src/autograd/variable.h"
 #include "src/core/rng.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/workspace.h"
@@ -392,6 +393,308 @@ TEST_F(SparseKernelsTest, SpMMVsDenseAgreementAtModelShapes) {
     scale = std::max(scale, std::fabs(via_dense.data()[i]));
   }
   EXPECT_LE(max_abs, 1e-4f * std::max(1.0f, scale));
+}
+
+// ---------------------------------------------------- SIMD dispatch ----
+
+// Independent reference for the top-k contract: k largest |v|, ties toward
+// the lower column, output in ascending column order.
+std::vector<int64_t> RefTopKIndices(const float* row, int64_t n, int64_t k) {
+  std::vector<int64_t> idx(n);
+  for (int64_t i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    float ma = std::fabs(row[a]), mb = std::fabs(row[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  });
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+// The vector levels compiled in and supported by this machine (scalar is
+// the reference they are compared against).
+std::vector<simd::Level> SupportedVectorLevels() {
+  std::vector<simd::Level> levels;
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx512) {
+    levels.push_back(simd::Level::kAvx512);
+  }
+  return levels;
+}
+
+constexpr int64_t kPropertyWidths[] = {1, 2,  3,  5,  7,  8,  9,
+                                       15, 16, 17, 31, 33, 64, 127};
+
+TEST_F(SparseKernelsTest, SimdCountAndCompressBitIdenticalToScalar) {
+  const simd::Ops& scalar = simd::OpsFor(simd::Level::kScalar);
+  for (simd::Level level : SupportedVectorLevels()) {
+    const simd::Ops& ops = simd::OpsFor(level);
+    for (int64_t n : kPropertyWidths) {
+      Tensor x = Tensor::Randn({n}, &rng_);
+      // Plant exact-threshold ties so >= vs > disagreements surface.
+      if (n >= 3) x.data()[n / 2] = 0.5f;
+      if (n >= 5) x.data()[n - 1] = -0.5f;
+      for (float t : {0.0f, 0.25f, 0.5f, 2.0f}) {
+        ASSERT_EQ(ops.count_ge_abs(x.data(), n, t),
+                  scalar.count_ge_abs(x.data(), n, t))
+            << simd::LevelName(level) << " n=" << n << " t=" << t;
+        std::vector<int32_t> got(n, -7), want(n, -7);
+        int64_t ng = ops.compress_ge_abs(x.data(), n, t, got.data());
+        int64_t nw = scalar.compress_ge_abs(x.data(), n, t, want.data());
+        ASSERT_EQ(ng, nw) << simd::LevelName(level) << " n=" << n;
+        for (int64_t i = 0; i < ng; ++i) ASSERT_EQ(got[i], want[i]);
+      }
+    }
+  }
+}
+
+TEST_F(SparseKernelsTest, SimdTopKSelectMatchesReferenceAcrossWidthsAndK) {
+  const simd::Ops& scalar = simd::OpsFor(simd::Level::kScalar);
+  std::vector<const simd::Ops*> all = {&scalar};
+  for (simd::Level level : SupportedVectorLevels()) {
+    all.push_back(&simd::OpsFor(level));
+  }
+  for (int64_t n : kPropertyWidths) {
+    Tensor x = Tensor::Randn({n}, &rng_);
+    // Magnitude ties across sign and position (|x[1]| == |x[n-1]| etc.).
+    if (n >= 4) {
+      x.data()[1] = 0.9f;
+      x.data()[n - 1] = -0.9f;
+      x.data()[n / 2] = 0.9f;
+    }
+    std::vector<float> scratch(simd::TopKScratchFloats(n));
+    for (int64_t k : std::vector<int64_t>{1, n / 2, n}) {
+      if (k < 1) continue;
+      std::vector<int64_t> want = RefTopKIndices(x.data(), n, k);
+      for (const simd::Ops* ops : all) {
+        std::vector<int64_t> got(k, -1);
+        ops->topk_select(x.data(), n, k, scratch.data(), got.data());
+        ASSERT_EQ(got, want) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(SparseKernelsTest, SimdTopKSelectAllEqualRowTiesTowardLowestColumns) {
+  const simd::Ops& scalar = simd::OpsFor(simd::Level::kScalar);
+  for (int64_t n : {3, 16, 33}) {
+    Tensor x = Tensor::Full({n}, 0.7f);
+    std::vector<float> scratch(simd::TopKScratchFloats(n));
+    for (int64_t k : {int64_t{1}, n / 2, n}) {
+      if (k < 1) continue;
+      std::vector<int64_t> want(k);
+      for (int64_t i = 0; i < k; ++i) want[i] = i;
+      std::vector<int64_t> got(k);
+      scalar.topk_select(x.data(), n, k, scratch.data(), got.data());
+      EXPECT_EQ(got, want);
+      for (simd::Level level : SupportedVectorLevels()) {
+        simd::OpsFor(level).topk_select(x.data(), n, k, scratch.data(),
+                                        got.data());
+        EXPECT_EQ(got, want) << simd::LevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST_F(SparseKernelsTest, SimdPrimitivesHandleDenormalsIdentically) {
+  // The kernels never enable FTZ/DAZ, so denormal magnitudes must order
+  // and count identically at every level.
+  const simd::Ops& scalar = simd::OpsFor(simd::Level::kScalar);
+  const int64_t n = 37;
+  Tensor x({n});
+  const float denorm = std::ldexp(1.0f, -140);  // far below FLT_MIN
+  for (int64_t i = 0; i < n; ++i) {
+    x.data()[i] = static_cast<float>((i * 13) % n - n / 2) * denorm;
+  }
+  std::vector<float> scratch(simd::TopKScratchFloats(n));
+  std::vector<int64_t> want = RefTopKIndices(x.data(), n, 5);
+  const float t = 3.0f * denorm;
+  for (simd::Level level : SupportedVectorLevels()) {
+    const simd::Ops& ops = simd::OpsFor(level);
+    EXPECT_EQ(ops.count_ge_abs(x.data(), n, t),
+              scalar.count_ge_abs(x.data(), n, t));
+    std::vector<int64_t> got(5);
+    ops.topk_select(x.data(), n, 5, scratch.data(), got.data());
+    EXPECT_EQ(got, want) << simd::LevelName(level);
+  }
+}
+
+TEST_F(SparseKernelsTest, SimdTileRowUpdateBitIdenticalAcrossLevels) {
+  const simd::Ops& scalar = simd::OpsFor(simd::Level::kScalar);
+  for (int64_t n = 1; n <= simd::kMaxLanes; ++n) {
+    Tensor acc = Tensor::Randn({simd::kMaxLanes}, &rng_);
+    Tensor base = Tensor::Randn({simd::kMaxLanes}, &rng_);
+    for (float beta : {0.0f, 1.0f, -0.375f}) {
+      Tensor want = base.Clone();
+      scalar.tile_row_update(acc.data(), want.data(), n, beta);
+      for (simd::Level level : SupportedVectorLevels()) {
+        Tensor got = base.Clone();
+        simd::OpsFor(level).tile_row_update(acc.data(), got.data(), n, beta);
+        EXPECT_TENSOR_EQ(got, want)
+            << simd::LevelName(level) << " n=" << n << " beta=" << beta;
+        // Lanes past n must be untouched (masked stores).
+        for (int64_t j = n; j < simd::kMaxLanes; ++j) {
+          EXPECT_EQ(got.data()[j], base.data()[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SparseKernelsTest, SimdActiveLevelIsAtMostDetected) {
+  EXPECT_LE(static_cast<int>(simd::ActiveLevel()),
+            static_cast<int>(simd::DetectedLevel()));
+  EXPECT_NE(simd::LevelName(simd::ActiveLevel()), nullptr);
+}
+
+// ---------------------------------------------------- pattern cache ----
+
+TEST_F(SparseKernelsTest, CountDriftedRowsZeroOnUnchangedData) {
+  Tensor m = Tensor::Randn({11, 9}, &rng_);
+  auto p = RowTopKPattern(m.data(), 11, 9, 3);
+  EXPECT_EQ(CountDriftedRows(*p, m.data()), 0);
+}
+
+TEST_F(SparseKernelsTest, CountDriftedRowsDetectsMarginFlip) {
+  Tensor m = Tensor::Randn({8, 6}, &rng_);
+  auto p = RowTopKPattern(m.data(), 8, 6, 2);
+  // Promote a dropped entry of row 3 above the weakest kept one.
+  const float* row = m.data() + 3 * 6;
+  std::vector<bool> kept(6, false);
+  for (int64_t j = p->row_ptr[3]; j < p->row_ptr[4]; ++j) {
+    kept[p->col_idx[j]] = true;
+  }
+  float max_mag = 0.0f;
+  for (int64_t c = 0; c < 6; ++c) {
+    max_mag = std::max(max_mag, std::fabs(row[c]));
+  }
+  for (int64_t c = 0; c < 6; ++c) {
+    if (!kept[c]) {
+      m.data()[3 * 6 + c] = 2.0f * max_mag + 1.0f;
+      break;
+    }
+  }
+  EXPECT_EQ(CountDriftedRows(*p, m.data()), 1);
+}
+
+TEST_F(SparseKernelsTest, PatternCacheExactReuseReturnsSamePattern) {
+  TopKPatternCache cache;
+  Tensor m = Tensor::Randn({10, 8}, &rng_);
+  auto first = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  auto second = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  EXPECT_EQ(cache.stats().selects, 1);
+  EXPECT_EQ(cache.stats().reuses, 1);
+  EXPECT_EQ(cache.stats().drifted_rows, 0);
+}
+
+TEST_F(SparseKernelsTest, PatternCacheReselectsPastDriftThreshold) {
+  TopKPatternCache::Options opts;
+  opts.drift_threshold = 0.05f;  // 10 rows -> at most 0 drifted rows pass
+  TopKPatternCache cache(opts);
+  Tensor m = Tensor::Randn({10, 8}, &rng_);
+  auto first = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  // Rewrite two rows entirely: well past the threshold.
+  for (int64_t i = 0; i < 16; ++i) m.data()[i] = 100.0f + i;
+  auto second = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.stats().selects, 1);  // only the cold one
+  EXPECT_EQ(cache.stats().drift_reselects, 1);
+  EXPECT_EQ(cache.stats().reuses, 0);
+  // The re-selected pattern equals a fresh selection.
+  auto fresh = RowTopKPattern(m.data(), 10, 8, 3);
+  EXPECT_EQ(second->col_idx, fresh->col_idx);
+}
+
+TEST_F(SparseKernelsTest, PatternCacheToleratesDriftUnderThreshold) {
+  TopKPatternCache::Options opts;
+  opts.drift_threshold = 0.5f;  // 10 rows -> up to 5 drifted rows reuse
+  TopKPatternCache cache(opts);
+  Tensor m = Tensor::Randn({10, 8}, &rng_);
+  auto first = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  for (int64_t i = 0; i < 8; ++i) m.data()[i] = 50.0f + i;  // one row
+  auto second = cache.SelectOrReuse(0, m.data(), 10, 8, 3);
+  EXPECT_EQ(first.get(), second.get());  // stale but within tolerance
+  EXPECT_EQ(cache.stats().reuses, 1);
+  EXPECT_EQ(cache.stats().drifted_rows, 1);
+}
+
+TEST_F(SparseKernelsTest, PatternCacheKeysOnSlotAndShape) {
+  TopKPatternCache cache;
+  Tensor a = Tensor::Randn({6, 5}, &rng_);
+  Tensor b = Tensor::Randn({6, 5}, &rng_);
+  auto pa = cache.SelectOrReuse(0, a.data(), 6, 5, 2);
+  auto pb = cache.SelectOrReuse(1, b.data(), 6, 5, 2);
+  EXPECT_EQ(cache.stats().selects, 2);  // slots are independent streams
+  EXPECT_EQ(cache.SelectOrReuse(0, a.data(), 6, 5, 2).get(), pa.get());
+  EXPECT_EQ(cache.SelectOrReuse(1, b.data(), 6, 5, 2).get(), pb.get());
+  // A different k on the same slot is a different stream, not a reuse.
+  cache.SelectOrReuse(0, a.data(), 6, 5, 3);
+  EXPECT_EQ(cache.stats().selects, 3);
+  cache.Clear();
+  cache.SelectOrReuse(0, a.data(), 6, 5, 2);
+  EXPECT_EQ(cache.stats().selects, 4);  // cold again after Clear
+}
+
+TEST_F(SparseKernelsTest, PatternCacheRejectsBadThreshold) {
+  TopKPatternCache::Options opts;
+  opts.drift_threshold = 1.5f;
+  EXPECT_DEATH(TopKPatternCache cache(opts), "drift_threshold");
+}
+
+TEST_F(SparseKernelsTest, CachedPatternGradientsMatchFreshWhenNoDrift) {
+  // A zero-drift reuse must be invisible to autograd: same forward, same
+  // gradients, bit for bit.
+  ag::Variable lambda(Tensor::Randn({2, 6, 5}, &rng_), true);
+  TopKPatternCache cache;
+  ag::CsrPatternList fresh, cached;
+  for (int64_t b = 0; b < 2; ++b) {
+    const float* slab = lambda.value().data() + b * 30;
+    fresh.push_back(RowTopKPattern(slab, 6, 5, 2));
+    cache.SelectOrReuse(b, slab, 6, 5, 2);          // warm the cache
+    cached.push_back(cache.SelectOrReuse(b, slab, 6, 5, 2));  // reuse
+  }
+  EXPECT_EQ(cache.stats().reuses, 2);
+  ag::Variable x(Tensor::Randn({2, 5, 3}, &rng_), false);
+  auto run = [&](const ag::CsrPatternList& patterns) {
+    lambda.ZeroGrad();
+    ag::Variable vals = ag::GatherSparse(lambda, patterns);
+    ag::Variable y =
+        ToScalar(ag::BatchedSparseDenseMatMul(patterns, vals, x));
+    y.Backward();
+    return std::make_pair(y.value().Clone(), lambda.grad().Clone());
+  };
+  auto [y_fresh, g_fresh] = run(fresh);
+  auto [y_cached, g_cached] = run(cached);
+  EXPECT_TENSOR_EQ(y_cached, y_fresh);
+  EXPECT_TENSOR_EQ(g_cached, g_fresh);
+}
+
+// ------------------------------------------------------ row threshold ----
+
+TEST_F(SparseKernelsTest, RowThresholdRejectsNegativeThreshold) {
+  Tensor m = Tensor::Randn({2, 3}, &rng_);
+  EXPECT_DEATH(RowThreshold(m, -0.5f), "threshold");
+}
+
+TEST_F(SparseKernelsTest, RowThresholdRenormalizeLeavesEmptyRowsFinite) {
+  // Row 1 loses every entry; renormalize must skip it (no 0/0) and leave
+  // the output NaN-free. Row 2's kept sum is negative, which the guard
+  // also refuses to scale by.
+  Tensor m = Tensor::FromVector({3, 3}, {0.6f, 0.3f, 0.05f,     // kept: 2
+                                         0.01f, -0.02f, 0.03f,  // kept: 0
+                                         -0.9f, 0.2f, 0.01f});  // sum < 0
+  CsrMatrix kept = RowThreshold(m, 0.1f, /*renormalize=*/true);
+  Tensor d = kept.ToDense();
+  for (int64_t i = 0; i < d.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(d.data()[i])) << "index " << i;
+  }
+  // Row 0 renormalizes to its original sum; row 1 stays empty.
+  EXPECT_NEAR(d.At({0, 0}) + d.At({0, 1}), 0.95f, 1e-6f);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(d.At({1, c}), 0.0f);
 }
 
 }  // namespace
