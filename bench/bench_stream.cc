@@ -1,0 +1,351 @@
+// Streaming-session benchmark: per-forecast latency and sustained tick
+// rate of stateful sessions vs full-window resubmission.
+//
+//   $ ./build/bench_stream                    # prints a table
+//   $ ./build/bench_stream --check-floor=3    # CI guard (see below)
+//   $ DYHSL_BENCH_OUT=BENCH_stream.json ./build/bench_stream
+//
+// Scenario: an N=1024 sensor network ticking once per simulated 5-minute
+// bin, with a forecast wanted after every tick.
+//
+//  * Baseline ("resubmit"): the client keeps the (T, N, F) window,
+//    shifts it by one frame per tick, and submits the full window
+//    through ForecastRouter::Submit — the batch path re-reads all
+//    T x N x F floats and re-runs the model end to end every tick.
+//  * Streamed ("session"): a warm SessionManager session. Append hands
+//    the server N raw floats; the session advances the carried DCRNN
+//    encoder one cell step and Forecast runs only the T'-step decoder
+//    against the server-side ring. Per tick that is 1 + T' cell steps
+//    instead of T + T', plus none of the window materialization.
+//  * A stateless STGCN pair (windowed session vs resubmission) isolates
+//    the transport/queue savings alone — no recurrent carry, the model
+//    work is identical, so the gap is window assembly + batch queue.
+//
+// The engines run with max_batch=1 / max_delay_us=0 so the baseline
+// pays no artificial batching delay — the comparison is fast path vs
+// fast path. DCRNN uses horizon T'=3 (nowcasting), the regime streaming
+// targets; history is the paper's T=12.
+//
+// --check-floor=R exits non-zero if the warm-session p50 per-forecast
+// latency is not at least R x better than full-window resubmission.
+//
+// DYHSL_PROFILE=tiny|quick|full scales tick counts only; model and
+// network sizes are fixed so numbers are comparable across profiles.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/profile.h"
+#include "src/core/rng.h"
+#include "src/serve/router.h"
+#include "src/serve/session.h"
+#include "src/tensor/tensor.h"
+#include "src/train/model_zoo.h"
+
+namespace dyhsl::bench {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kNodes = 1024;
+constexpr int64_t kHistory = 12;
+constexpr int64_t kHorizon = 3;
+constexpr int64_t kHidden = 16;
+constexpr int64_t kFeatures = 3;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(pct / 100.0 *
+                                   static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+struct PhaseResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double ticks_per_s = 0.0;
+  int64_t bytes_per_tick = 0;
+};
+
+// Simulated raw readings for one tick (client side of both loops).
+void FillRawFrame(const train::ForecastTask& task, Rng* rng, float* out) {
+  for (int64_t i = 0; i < task.num_nodes; ++i) {
+    out[i] = task.scaler_mean + task.scaler_std * rng->Gaussian();
+  }
+}
+
+// Client-side window maintenance for the resubmission baseline: shift
+// one frame out, derive the MakeInput features of the new tick into the
+// last row. This is work the baseline client cannot avoid — the request
+// needs the materialized (T, N, F) window.
+void SlideWindow(const train::ForecastTask& task, int64_t tick,
+                 const float* raw, T::Tensor* window) {
+  float* data = window->data();
+  const int64_t frame = task.num_nodes * kFeatures;
+  std::memmove(data, data + frame,
+               static_cast<size_t>((kHistory - 1) * frame) * sizeof(float));
+  const int64_t spd = task.steps_per_day;
+  const float tod = static_cast<float>(tick % spd) / static_cast<float>(spd);
+  const float dow = static_cast<float>((tick / spd) % 7) / 7.0f;
+  float* last = data + (kHistory - 1) * frame;
+  for (int64_t i = 0; i < task.num_nodes; ++i) {
+    last[i * kFeatures + 0] =
+        (raw[i] - task.scaler_mean) / task.scaler_std;
+    last[i * kFeatures + 1] = tod;
+    last[i * kFeatures + 2] = dow;
+  }
+}
+
+// Full-window resubmission: one Submit per tick, latency is window
+// update + submit + response.
+bool RunResubmit(serve::ForecastRouter* router, const std::string& model,
+                 const train::ForecastTask& task, int ticks, uint64_t seed,
+                 PhaseResult* result) {
+  Rng rng(seed);
+  std::vector<float> raw(static_cast<size_t>(task.num_nodes));
+  T::Tensor window({kHistory, task.num_nodes, kFeatures});
+  window.Fill(0.0f);
+  for (int64_t t = 0; t < kHistory; ++t) {
+    FillRawFrame(task, &rng, raw.data());
+    SlideWindow(task, t, raw.data(), &window);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(ticks));
+  Clock::time_point start = Clock::now();
+  for (int t = 0; t < ticks; ++t) {
+    Clock::time_point sent = Clock::now();
+    FillRawFrame(task, &rng, raw.data());
+    SlideWindow(task, kHistory + t, raw.data(), &window);
+    serve::ForecastResponse response =
+        router->Submit(serve::RouterRequest{model, window.Clone()}).get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "resubmit error: %s\n",
+                   response.status.ToString().c_str());
+      return false;
+    }
+    latencies.push_back(MsSince(sent));
+  }
+  const double wall_ms = MsSince(start);
+  result->p50_ms = Percentile(latencies, 50.0);
+  result->p99_ms = Percentile(latencies, 99.0);
+  result->ticks_per_s =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(ticks) / wall_ms : 0.0;
+  result->bytes_per_tick =
+      kHistory * task.num_nodes * kFeatures * static_cast<int64_t>(sizeof(float));
+  return true;
+}
+
+// Streamed session: one Append + one Forecast per tick; latency covers
+// both (the full per-tick serving cost).
+bool RunSession(serve::SessionManager* manager, const std::string& id,
+                const train::ForecastTask& task, int64_t first_tick,
+                int ticks, uint64_t seed, PhaseResult* result) {
+  Rng rng(seed);
+  T::Tensor raw({task.num_nodes});
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(ticks));
+  Clock::time_point start = Clock::now();
+  for (int t = 0; t < ticks; ++t) {
+    Clock::time_point sent = Clock::now();
+    FillRawFrame(task, &rng, raw.data());
+    Status appended = manager->Append(id, first_tick + t, raw);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append error: %s\n", appended.ToString().c_str());
+      return false;
+    }
+    serve::ForecastResponse response = manager->Forecast(id);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "session error: %s\n",
+                   response.status.ToString().c_str());
+      return false;
+    }
+    latencies.push_back(MsSince(sent));
+  }
+  const double wall_ms = MsSince(start);
+  result->p50_ms = Percentile(latencies, 50.0);
+  result->p99_ms = Percentile(latencies, 99.0);
+  result->ticks_per_s =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(ticks) / wall_ms : 0.0;
+  result->bytes_per_tick =
+      task.num_nodes * static_cast<int64_t>(sizeof(float));
+  return true;
+}
+
+// Streams kHistory warm-up ticks so the session ring is full and every
+// arena / cache is hot before measurement.
+bool PrimeSession(serve::SessionManager* manager, const std::string& id,
+                  const train::ForecastTask& task, uint64_t seed) {
+  Rng rng(seed);
+  T::Tensor raw({task.num_nodes});
+  for (int64_t t = 0; t < kHistory; ++t) {
+    FillRawFrame(task, &rng, raw.data());
+    if (!manager->Append(id, t, raw).ok()) return false;
+  }
+  return manager->Forecast(id).status.ok();
+}
+
+}  // namespace
+}  // namespace dyhsl::bench
+
+int main(int argc, char** argv) {
+  using namespace dyhsl;
+  using namespace dyhsl::bench;
+  double check_floor = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--check-floor=", 14) == 0) {
+      check_floor = std::atof(argv[i] + 14);
+    }
+  }
+  ConfigureParallelism();
+  RunProfile profile = GetRunProfile();
+  const int ticks = profile == RunProfile::kTiny
+                        ? 30
+                        : (profile == RunProfile::kQuick ? 100 : 300);
+
+  train::ForecastTask task =
+      train::RingForecastTask(kNodes, kHistory, kHorizon);
+  train::ZooConfig zoo;
+  zoo.hidden_dim = kHidden;
+  // Fast path vs fast path: no batching delay for the baseline.
+  serve::EngineOptions options;
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+
+  auto created = serve::ForecastRouter::Create();
+  if (!created.ok()) return 1;
+  auto router = std::move(created).ValueOrDie();
+  if (!router->AddModel("dcrnn", task, serve::ZooFactory("DCRNN", zoo), "",
+                        options)
+           .ok() ||
+      !router->AddModel("stgcn", task, serve::ZooFactory("STGCN", zoo), "",
+                        options)
+           .ok()) {
+    std::fprintf(stderr, "fleet bring-up failed\n");
+    return 1;
+  }
+  serve::SessionManager manager(router.get());
+  serve::SessionOptions warm;
+  warm.model = "dcrnn";
+  warm.warm_state = true;
+  serve::SessionOptions windowed;
+  windowed.model = "stgcn";
+  if (!manager.Open("warm", warm).ok() ||
+      !manager.Open("windowed", windowed).ok()) {
+    std::fprintf(stderr, "session open failed\n");
+    return 1;
+  }
+
+  std::printf(
+      "=== bench_stream (N=%lld, T=%lld, T'=%lld, DCRNN/STGCN d=%lld, "
+      "%d ticks) ===\n",
+      static_cast<long long>(kNodes), static_cast<long long>(kHistory),
+      static_cast<long long>(kHorizon), static_cast<long long>(kHidden),
+      ticks);
+
+  // Warm-up: fill rings, touch every arena and cache on both paths.
+  PhaseResult scratch;
+  if (!PrimeSession(&manager, "warm", task, 11) ||
+      !PrimeSession(&manager, "windowed", task, 12) ||
+      !RunResubmit(router.get(), "dcrnn", task, std::max(4, ticks / 8), 13,
+                   &scratch) ||
+      !RunResubmit(router.get(), "stgcn", task, std::max(4, ticks / 8), 14,
+                   &scratch)) {
+    std::fprintf(stderr, "warm-up failed\n");
+    return 1;
+  }
+
+  PhaseResult dcrnn_resubmit, dcrnn_session, stgcn_resubmit, stgcn_session;
+  if (!RunResubmit(router.get(), "dcrnn", task, ticks, 21, &dcrnn_resubmit) ||
+      !RunSession(&manager, "warm", task, kHistory, ticks, 22,
+                  &dcrnn_session) ||
+      !RunResubmit(router.get(), "stgcn", task, ticks, 23, &stgcn_resubmit) ||
+      !RunSession(&manager, "windowed", task, kHistory, ticks, 24,
+                  &stgcn_session)) {
+    return 1;
+  }
+
+  auto print_row = [](const char* name, const PhaseResult& r) {
+    std::printf("%-22s p50 %8.3f ms   p99 %8.3f ms   %8.1f ticks/s   "
+                "%7lld B/tick\n",
+                name, r.p50_ms, r.p99_ms, r.ticks_per_s,
+                static_cast<long long>(r.bytes_per_tick));
+  };
+  print_row("DCRNN resubmit", dcrnn_resubmit);
+  print_row("DCRNN warm session", dcrnn_session);
+  print_row("STGCN resubmit", stgcn_resubmit);
+  print_row("STGCN windowed session", stgcn_session);
+
+  const double warm_speedup = dcrnn_session.p50_ms > 0.0
+                                  ? dcrnn_resubmit.p50_ms / dcrnn_session.p50_ms
+                                  : 0.0;
+  const double windowed_speedup =
+      stgcn_session.p50_ms > 0.0
+          ? stgcn_resubmit.p50_ms / stgcn_session.p50_ms
+          : 0.0;
+  std::printf("warm-session per-forecast speedup:     %.2fx\n", warm_speedup);
+  std::printf("windowed-session per-forecast speedup: %.2fx\n",
+              windowed_speedup);
+
+  const char* out_env = std::getenv("DYHSL_BENCH_OUT");
+  std::string out_path = out_env != nullptr ? out_env : "BENCH_stream.json";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  auto phase_json = [out](const char* name, const PhaseResult& r,
+                          bool trailing_comma) {
+    std::fprintf(out,
+                 "    \"%s\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"ticks_per_s\": %.2f, \"bytes_per_tick\": %lld}%s\n",
+                 name, r.p50_ms, r.p99_ms, r.ticks_per_s,
+                 static_cast<long long>(r.bytes_per_tick),
+                 trailing_comma ? "," : "");
+  };
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"stream\",\n");
+  std::fprintf(out, "  \"profile\": \"%s\",\n", RunProfileName(profile));
+  std::fprintf(out, "  \"nodes\": %lld,\n", static_cast<long long>(kNodes));
+  std::fprintf(out, "  \"history\": %lld,\n",
+               static_cast<long long>(kHistory));
+  std::fprintf(out, "  \"horizon\": %lld,\n",
+               static_cast<long long>(kHorizon));
+  std::fprintf(out, "  \"hidden_dim\": %lld,\n",
+               static_cast<long long>(kHidden));
+  std::fprintf(out, "  \"ticks\": %d,\n", ticks);
+  std::fprintf(out, "  \"phases\": {\n");
+  phase_json("dcrnn_resubmit", dcrnn_resubmit, true);
+  phase_json("dcrnn_warm_session", dcrnn_session, true);
+  phase_json("stgcn_resubmit", stgcn_resubmit, true);
+  phase_json("stgcn_windowed_session", stgcn_session, false);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"warm_session_speedup\": %.4f,\n", warm_speedup);
+  std::fprintf(out, "  \"windowed_session_speedup\": %.4f\n",
+               windowed_speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check_floor > 0.0 && warm_speedup < check_floor) {
+    std::fprintf(stderr,
+                 "FLOOR VIOLATION: warm-session speedup %.2fx < required "
+                 "%.2fx\n",
+                 warm_speedup, check_floor);
+    return 1;
+  }
+  return 0;
+}

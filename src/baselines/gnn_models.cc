@@ -1,13 +1,19 @@
 #include "src/baselines/gnn_models.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
 
+#include "src/autograd/inference.h"
 #include "src/autograd/ops.h"
 #include "src/core/check.h"
 #include "src/graph/graph.h"
 #include "src/graph/temporal_graph.h"
 #include "src/nn/init.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/workspace.h"
 
 namespace dyhsl::baselines {
 
@@ -45,6 +51,15 @@ Variable HyperConv(const hypergraph::FactoredIncidence& op,
 Variable StepSlice(const Variable& x, int64_t t) {
   return ag::Reshape(ag::Slice(x, 1, t, 1),
                      {x.size(0), x.size(2), x.size(3)});
+}
+
+// Heap-backed deep copy: carried stream state must survive the arena
+// resets of whatever WorkspaceScope the serving thread has installed.
+T::Tensor HeapClone(const T::Tensor& t) {
+  T::WorkspaceBypass bypass;
+  T::Tensor copy(t.shape());
+  copy.CopyDataFrom(t);
+  return copy;
 }
 
 }  // namespace
@@ -153,6 +168,94 @@ Variable Dcrnn::Forward(const tensor::Tensor& x, bool training) {
   Variable out = ag::Concat(steps, 2);            // (B, N, T')
   out = ag::TransposePerm(out, {0, 2, 1});
   return train::Descale(out, task_.scaler_mean, task_.scaler_std);
+}
+
+// Warm-state streaming: the carried state is exactly what Forward's
+// encoder holds at batch 1 — h after one CellStep per tick, plus the
+// decoder seed (flow channel of the newest frame). Every method runs
+// tape-less and heap-pins the carried tensors, so states are cheap value
+// holders that survive per-step workspace resets on any thread.
+struct Dcrnn::DcrnnStreamState : public train::StreamState {
+  Variable h;     // (1, N, H); zeros until the first tick
+  Variable prev;  // (1, N, 1) decoder seed; undefined until the first tick
+  int64_t ticks = 0;
+};
+
+std::unique_ptr<train::StreamState> Dcrnn::MakeStreamState() const {
+  auto state = std::make_unique<DcrnnStreamState>();
+  autograd::InferenceModeGuard no_grad;
+  tensor::WorkspaceBypass bypass;
+  state->h =
+      Variable(tensor::Tensor::Zeros({1, task_.num_nodes, hidden_dim_}));
+  return state;
+}
+
+void Dcrnn::StreamStep(train::StreamState* state,
+                       const tensor::Tensor& frame) const {
+  auto* s = static_cast<DcrnnStreamState*>(state);
+  const int64_t n = task_.num_nodes;
+  const int64_t f = task_.input_dim;
+  DYHSL_CHECK(frame.shape() == (tensor::Shape{n, f}));
+  autograd::InferenceModeGuard no_grad;
+  // Reshape shares the caller's storage (e.g. a ring frame) — CellStep
+  // only reads it, and shared storage disables the in-place fast paths.
+  Variable x_t(frame.Reshape({1, n, f}));
+  Variable h_new = CellStep(x_t, s->h);
+  s->h = Variable(HeapClone(h_new.value()));
+  // Decoder seed: the flow channel of the newest frame (what Forward
+  // slices from the last window step).
+  tensor::WorkspaceBypass bypass;
+  tensor::Tensor prev({1, n, 1});
+  for (int64_t i = 0; i < n; ++i) prev.data()[i] = frame.data()[i * f];
+  s->prev = Variable(std::move(prev));
+  s->ticks += 1;
+}
+
+void Dcrnn::ResyncState(train::StreamState* state,
+                        const tensor::Tensor& window) const {
+  auto* s = static_cast<DcrnnStreamState*>(state);
+  const int64_t t_in = task_.history;
+  const int64_t n = task_.num_nodes;
+  const int64_t f = task_.input_dim;
+  DYHSL_CHECK(window.shape() == (tensor::Shape{t_in, n, f}));
+  autograd::InferenceModeGuard no_grad;
+  // Cold replay from zeros — bit-identical to Forward's encoder loop, so
+  // the next StreamForecast matches the windowed reference exactly.
+  Variable h(tensor::Tensor::Zeros({1, n, hidden_dim_}));
+  for (int64_t t = 0; t < t_in; ++t) {
+    Variable x_t(window.Alias(t * n * f, {1, n, f}));
+    h = CellStep(x_t, h);
+  }
+  s->h = Variable(HeapClone(h.value()));
+  tensor::WorkspaceBypass bypass;
+  tensor::Tensor prev({1, n, 1});
+  const float* last = window.data() + (t_in - 1) * n * f;
+  for (int64_t i = 0; i < n; ++i) prev.data()[i] = last[i * f];
+  s->prev = Variable(std::move(prev));
+}
+
+tensor::Tensor Dcrnn::StreamForecast(const train::StreamState& state) const {
+  const auto& s = static_cast<const DcrnnStreamState&>(state);
+  DYHSL_CHECK(s.prev.value().defined());
+  const int64_t n = task_.num_nodes;
+  autograd::InferenceModeGuard no_grad;
+  // Forward's decoder, verbatim, from a private copy of the carried
+  // state — forecasting must not advance the session.
+  Variable h = s.h;
+  Variable prev = s.prev;
+  Variable pad(tensor::Tensor::Zeros({1, n, task_.input_dim - 1}));
+  std::vector<Variable> steps;
+  for (int64_t t = 0; t < task_.horizon; ++t) {
+    Variable x_t = ag::Concat({prev, pad}, 2);
+    h = CellStep(x_t, h);
+    prev = readout_.Forward(h);
+    steps.push_back(prev);
+  }
+  Variable out = ag::Concat(steps, 2);  // (1, N, T')
+  out = ag::TransposePerm(out, {0, 2, 1});
+  out = train::Descale(out, task_.scaler_mean, task_.scaler_std);
+  T::Tensor forecast = HeapClone(out.value());
+  return forecast.Reshape({task_.horizon, n});
 }
 
 // --------------------------------------------------------- GraphWaveNet --
@@ -348,47 +451,66 @@ Variable HgcRnn::Forward(const tensor::Tensor& x, bool training) {
 
 // ---------------------------------------------------------------- Dhgnn --
 
-Dhgnn::Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
-             int64_t num_clusters, int64_t knn, uint64_t seed)
-    : GnnModelBase(task, seed),
-      hidden_dim_(hidden_dim),
-      num_clusters_(num_clusters),
-      knn_(knn),
-      encoder_(task.input_dim, hidden_dim, &rng_),
-      hconv1_(hidden_dim, hidden_dim, &rng_),
-      hconv2_(hidden_dim, hidden_dim, &rng_),
-      head_(hidden_dim, task.horizon, &rng_) {
-  RegisterChild("encoder", &encoder_);
-  RegisterChild("hconv1", &hconv1_);
-  RegisterChild("hconv2", &hconv2_);
-  RegisterChild("head", &head_);
+namespace {
+
+// Thread-local structure cache, keyed per Dhgnn instance — the same
+// shape as DhslBlock's TopKPatternCache registry: serving workers each
+// stay warm on the sessions they serve, with zero cross-thread sharing.
+struct DhgnnStructure {
+  bool valid = false;
+  /// Per-node signature means of the window the structure was built
+  /// from — the drift reference. Means (not raw signatures) make the
+  /// check shift-robust: sliding the window one tick shifts every
+  /// signature column but barely moves a node's mean.
+  std::vector<float> node_means;
+  hypergraph::FactoredIncidence op;
+  T::TopKPatternCache::Stats stats;
+};
+
+uint64_t NextDhgnnCacheId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
-  (void)training;
-  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2), f = x.size(3);
-  // Build the dynamic hypergraph from the current window's node signatures
-  // (mean feature vector over batch and time; DHGNN's kNN + k-means
-  // construction, no gradient through structure).
-  T::Tensor signatures = T::Tensor::Zeros({n, t_in});
-  for (int64_t b = 0; b < batch; ++b) {
+DhgnnStructure& DhgnnCacheForThread(uint64_t cache_id) {
+  thread_local std::unordered_map<uint64_t, DhgnnStructure> registry;
+  return registry[cache_id];
+}
+
+// A node counts as drifted once its signature mean moved by more than
+// this relative tolerance — the per-row analogue of CountDriftedRows'
+// margin flip. The +1 floors the scale for near-zero (z-scored) means.
+constexpr float kNodeDriftTol = 0.05f;
+
+std::vector<float> SignatureMeans(const T::Tensor& signatures) {
+  const int64_t n = signatures.size(0), t_in = signatures.size(1);
+  std::vector<float> means(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
     for (int64_t t = 0; t < t_in; ++t) {
-      for (int64_t i = 0; i < n; ++i) {
-        signatures.data()[i * t_in + t] +=
-            x.data()[((b * t_in + t) * n + i) * f] / batch;
-      }
+      sum += signatures.data()[i * t_in + t];
     }
+    means[static_cast<size_t>(i)] =
+        static_cast<float>(sum / static_cast<double>(t_in));
   }
+  return means;
+}
+
+// DHGNN's kNN + k-means construction (no gradient through structure).
+hypergraph::FactoredIncidence BuildDhgnnStructure(const T::Tensor& signatures,
+                                                  int64_t num_clusters,
+                                                  int64_t knn_k) {
+  const int64_t n = signatures.size(0);
   Rng structure_rng(29);
   // Cluster hyperedges (k-means) plus kNN hyperedges around each node.
   std::vector<int64_t> labels = hypergraph::KMeansLabels(
-      signatures, std::min(num_clusters_, n), 5, &structure_rng);
+      signatures, std::min(num_clusters, n), 5, &structure_rng);
   std::vector<T::Triplet> incidence;
   for (int64_t i = 0; i < n; ++i) {
     incidence.push_back({i, labels[i], 1.0f});
   }
-  T::CsrMatrix knn = graph::KnnGraph(signatures, std::min(knn_, n - 1));
-  int64_t cluster_edges = num_clusters_;
+  T::CsrMatrix knn = graph::KnnGraph(signatures, std::min(knn_k, n - 1));
+  int64_t cluster_edges = num_clusters;
   for (int64_t i = 0; i < n; ++i) {
     incidence.push_back({i, cluster_edges + i, 1.0f});  // node joins own edge
     for (int64_t k = knn.row_ptr()[i]; k < knn.row_ptr()[i + 1]; ++k) {
@@ -398,7 +520,96 @@ Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
   hypergraph::Hypergraph hg(
       n, cluster_edges + n,
       T::CsrMatrix::FromTriplets(n, cluster_edges + n, std::move(incidence)));
-  hypergraph::FactoredIncidence hyper_op = hg.FactoredOperator();
+  return hg.FactoredOperator();
+}
+
+}  // namespace
+
+Dhgnn::Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
+             int64_t num_clusters, int64_t knn, uint64_t seed,
+             bool structure_reuse, float structure_drift_threshold)
+    : GnnModelBase(task, seed),
+      hidden_dim_(hidden_dim),
+      num_clusters_(num_clusters),
+      knn_(knn),
+      structure_reuse_(structure_reuse),
+      structure_drift_threshold_(structure_drift_threshold),
+      cache_id_(NextDhgnnCacheId()),
+      encoder_(task.input_dim, hidden_dim, &rng_),
+      hconv1_(hidden_dim, hidden_dim, &rng_),
+      hconv2_(hidden_dim, hidden_dim, &rng_),
+      head_(hidden_dim, task.horizon, &rng_) {
+  DYHSL_CHECK_GE(structure_drift_threshold_, 0.0f);
+  DYHSL_CHECK_LE(structure_drift_threshold_, 1.0f);
+  RegisterChild("encoder", &encoder_);
+  RegisterChild("hconv1", &hconv1_);
+  RegisterChild("hconv2", &hconv2_);
+  RegisterChild("head", &head_);
+}
+
+tensor::TopKPatternCache::Stats Dhgnn::StructureCacheStats() const {
+  return DhgnnCacheForThread(cache_id_).stats;
+}
+
+void Dhgnn::ClearStructureCache() const {
+  DhgnnStructure& cache = DhgnnCacheForThread(cache_id_);
+  const T::TopKPatternCache::Stats stats = cache.stats;
+  cache = DhgnnStructure();
+  cache.stats = stats;  // Clear drops the structure, not the counters
+}
+
+Variable Dhgnn::Forward(const tensor::Tensor& x, bool training) {
+  (void)training;
+  int64_t batch = x.size(0), t_in = x.size(1), n = x.size(2), f = x.size(3);
+  // Node signatures of the current window (mean flow feature over batch).
+  T::Tensor signatures = T::Tensor::Zeros({n, t_in});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < t_in; ++t) {
+      for (int64_t i = 0; i < n; ++i) {
+        signatures.data()[i * t_in + t] +=
+            x.data()[((b * t_in + t) * n + i) * f] / batch;
+      }
+    }
+  }
+  hypergraph::FactoredIncidence hyper_op;
+  if (!structure_reuse_) {
+    hyper_op = BuildDhgnnStructure(signatures, num_clusters_, knn_);
+  } else {
+    // Incremental structure refresh: keep the cached operator while at
+    // most structure_drift_threshold_ of the nodes drifted, rebuild past
+    // it. Identical windows drift zero nodes, so reuse is exact there;
+    // a sliding window pays the O(N T) mean check instead of the
+    // k-means + kNN rebuild until the flow regime actually moves.
+    DhgnnStructure& cache = DhgnnCacheForThread(cache_id_);
+    std::vector<float> means = SignatureMeans(signatures);
+    bool rebuild = true;
+    if (!cache.valid) {
+      cache.stats.selects += 1;
+    } else {
+      int64_t drifted = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float ref = cache.node_means[static_cast<size_t>(i)];
+        if (std::fabs(means[static_cast<size_t>(i)] - ref) >
+            kNodeDriftTol * (1.0f + std::fabs(ref))) {
+          drifted += 1;
+        }
+      }
+      if (static_cast<float>(drifted) <=
+          structure_drift_threshold_ * static_cast<float>(n)) {
+        cache.stats.reuses += 1;
+        cache.stats.drifted_rows += drifted;
+        rebuild = false;
+      } else {
+        cache.stats.drift_reselects += 1;
+      }
+    }
+    if (rebuild) {
+      cache.op = BuildDhgnnStructure(signatures, num_clusters_, knn_);
+      cache.node_means = std::move(means);
+      cache.valid = true;
+    }
+    hyper_op = cache.op;
+  }
 
   // Temporal encoding (shared GRU per node), then hypergraph convolutions.
   Variable input(x);

@@ -23,7 +23,9 @@
 #include "src/hypergraph/hypergraph.h"
 #include "src/nn/layers.h"
 #include "src/nn/module.h"
+#include "src/tensor/sparse.h"
 #include "src/train/forecast_model.h"
+#include "src/train/streaming.h"
 
 namespace dyhsl::baselines {
 
@@ -71,14 +73,32 @@ class Stgcn : public GnnModelBase {
 
 /// \brief DCRNN (Li et al., ICLR'18): GRU whose matmuls are replaced by
 /// K-step bidirectional diffusion convolutions; encoder-decoder rollout.
-class Dcrnn : public GnnModelBase {
+///
+/// Also the repository's reference RecurrentStreamModel: the encoder
+/// state is carried across ticks (StreamStep == one CellStep,
+/// bit-identical to Forward's encoder loop at B = 1), so a streaming
+/// session serves a forecast with only the T'-step decoder
+/// (StreamForecast) instead of re-encoding the full window.
+class Dcrnn : public GnnModelBase, public train::RecurrentStreamModel {
  public:
   Dcrnn(const train::ForecastTask& task, int64_t hidden_dim,
         int64_t diffusion_steps, uint64_t seed);
   Variable Forward(const tensor::Tensor& x, bool training) override;
   std::string name() const override { return "DCRNN"; }
 
+  /// \name Warm-state streaming (src/train/streaming.h)
+  /// @{
+  std::unique_ptr<train::StreamState> MakeStreamState() const override;
+  void StreamStep(train::StreamState* state,
+                  const tensor::Tensor& frame) const override;
+  void ResyncState(train::StreamState* state,
+                   const tensor::Tensor& window) const override;
+  tensor::Tensor StreamForecast(const train::StreamState& state) const override;
+  /// @}
+
  private:
+  struct DcrnnStreamState;
+
   Variable CellStep(const Variable& x_t, const Variable& h) const;
 
   int64_t hidden_dim_;
@@ -170,17 +190,43 @@ class HgcRnn : public GnnModelBase {
 /// \brief DHGNN (Jiang et al., IJCAI'19) adapted to forecasting: hyperedges
 /// are re-derived from each input window by kNN + k-means over node
 /// features, then two rounds of hypergraph convolution feed the head.
+///
+/// DHGNN is the zoo's data-dependent-structure model: unlike the static
+/// temporal-graph operators (precomputed once at construction), its
+/// kNN + k-means hypergraph slides with the window. With
+/// `structure_reuse` the factored operator is cached per thread behind a
+/// drift check on per-node signature means — the same treatment
+/// tensor::TopKPatternCache gives the learned-Λ pattern: a reuse with
+/// zero drifted nodes is exact (identical signatures rebuild the
+/// identical structure); under a sliding window the structure is stale
+/// on the drifted nodes only, and crossing `structure_drift_threshold`
+/// forces a rebuild.
 class Dhgnn : public GnnModelBase {
  public:
   Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
-        int64_t num_clusters, int64_t knn, uint64_t seed);
+        int64_t num_clusters, int64_t knn, uint64_t seed,
+        bool structure_reuse = false, float structure_drift_threshold = 0.05f);
   Variable Forward(const tensor::Tensor& x, bool training) override;
   std::string name() const override { return "DHGNN"; }
+
+  /// \brief Structure-cache counters, mirroring
+  /// tensor::TopKPatternCache::Stats: selects = cold builds, reuses =
+  /// drift check passed, drift_reselects = rebuilds forced by drift,
+  /// drifted_rows = total drifted nodes seen on reuse checks. Caches are
+  /// thread-local; this reads the calling thread's.
+  tensor::TopKPatternCache::Stats StructureCacheStats() const;
+  /// \brief Drops the calling thread's cached structure (tests).
+  void ClearStructureCache() const;
+  bool structure_reuse() const { return structure_reuse_; }
 
  private:
   int64_t hidden_dim_;
   int64_t num_clusters_;
   int64_t knn_;
+  bool structure_reuse_;
+  float structure_drift_threshold_;
+  /// Thread-local cache registry key (caches are keyed per instance).
+  uint64_t cache_id_;
   nn::GruCell encoder_;
   nn::Linear hconv1_;
   nn::Linear hconv2_;

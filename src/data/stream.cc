@@ -1,0 +1,28 @@
+#include "src/data/stream.h"
+
+#include "src/core/check.h"
+
+namespace dyhsl::data {
+
+TickStream::TickStream(const TrafficData& data, int64_t start_step,
+                       int64_t end_step)
+    : flow_(&data.flow),
+      num_nodes_(data.flow.size(1)),
+      step_(start_step),
+      end_(end_step < 0 ? data.flow.size(0) : end_step) {
+  DYHSL_CHECK_GE(start_step, 0);
+  DYHSL_CHECK_LE(end_, data.flow.size(0));
+  DYHSL_CHECK_LE(step_, end_);
+}
+
+tensor::Tensor TickStream::Frame() const {
+  DYHSL_CHECK(!Done());
+  return flow_->Alias(step_ * num_nodes_, {num_nodes_});
+}
+
+void TickStream::Advance() {
+  DYHSL_CHECK(!Done());
+  step_ += 1;
+}
+
+}  // namespace dyhsl::data

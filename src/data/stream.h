@@ -1,0 +1,52 @@
+// Tick-stream adapter over a simulated traffic series.
+//
+// Streaming clients (tests, benchmarks, the examples) replay a
+// TrafficData series one tick at a time into serve::SessionManager.
+// TickStream packages that replay: it walks the (steps, N) flow matrix
+// row by row, exposing each row as a zero-copy (N,) raw-flow frame plus
+// its absolute tick index — exactly the (tick, frame) pair
+// SessionManager::Append consumes, with no per-tick materialization.
+
+#ifndef DYHSL_DATA_STREAM_H_
+#define DYHSL_DATA_STREAM_H_
+
+#include <cstdint>
+
+#include "src/data/traffic_sim.h"
+#include "src/tensor/tensor.h"
+
+namespace dyhsl::data {
+
+/// \brief Forward iterator over the raw-flow rows of a TrafficData
+/// series in [start_step, end_step). The underlying series is borrowed
+/// and must outlive the stream.
+class TickStream {
+ public:
+  /// \brief Streams ticks `start_step` (inclusive) to `end_step`
+  /// (exclusive); `end_step` < 0 means the end of the series.
+  explicit TickStream(const TrafficData& data, int64_t start_step = 0,
+                      int64_t end_step = -1);
+
+  bool Done() const { return step_ >= end_; }
+  /// Absolute tick index of the current frame.
+  int64_t tick() const { return step_; }
+  /// \brief The current (N,) raw-flow frame as a zero-copy view into the
+  /// series. Valid while the series is alive; Advance() does not
+  /// invalidate previously returned frames.
+  tensor::Tensor Frame() const;
+  void Advance();
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Ticks remaining, including the current one.
+  int64_t remaining() const { return end_ - step_; }
+
+ private:
+  const tensor::Tensor* flow_;
+  int64_t num_nodes_;
+  int64_t step_;
+  int64_t end_;
+};
+
+}  // namespace dyhsl::data
+
+#endif  // DYHSL_DATA_STREAM_H_

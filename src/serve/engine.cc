@@ -103,6 +103,17 @@ ForecastEngine::ForecastEngine(const train::ForecastTask& task,
                                const EngineOptions& options)
     : task_(task), options_(options), model_(std::move(model)) {
   stats_.effective_max_batch = options_.max_batch;
+  // Capability probes, once per engine: warm-state streaming and
+  // observable structure-cache counters.
+  streaming_ = dynamic_cast<const train::RecurrentStreamModel*>(model_.get());
+  if (const auto* dyhsl = dynamic_cast<const models::DyHsl*>(model_.get());
+      dyhsl != nullptr && dyhsl->config().sparse_pattern_reuse) {
+    dyhsl_view_ = dyhsl;
+  }
+  if (const auto* dhgnn = dynamic_cast<const baselines::Dhgnn*>(model_.get());
+      dhgnn != nullptr && dhgnn->structure_reuse()) {
+    dhgnn_view_ = dhgnn;
+  }
   if (options_.team_size > 0) {
     worker_team_ = static_cast<int>(options_.team_size);
   } else {
@@ -186,7 +197,142 @@ EngineStats ForecastEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineStats snapshot = stats_;
   snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+  for (const auto& [tid, pattern] : pattern_by_thread_) {
+    snapshot.pattern.selects += pattern.selects;
+    snapshot.pattern.reuses += pattern.reuses;
+    snapshot.pattern.drift_reselects += pattern.drift_reselects;
+    snapshot.pattern.drifted_rows += pattern.drifted_rows;
+  }
   return snapshot;
+}
+
+void ForecastEngine::SamplePatternStats() {
+  if (dyhsl_view_ == nullptr && dhgnn_view_ == nullptr) return;
+  // The caches are thread-local: read this thread's counters outside the
+  // lock, publish the (absolute) sample under it. Snapshot() sums the
+  // latest sample of every thread that ever served through this engine.
+  tensor::TopKPatternCache::Stats sample;
+  if (dyhsl_view_ != nullptr) {
+    sample = dyhsl_view_->dhsl().PatternCacheStats();
+  } else {
+    sample = dhgnn_view_->StructureCacheStats();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pattern_by_thread_[std::this_thread::get_id()] = sample;
+}
+
+ForecastResponse ForecastEngine::ForecastNow(const tensor::Tensor& window) {
+  ForecastResponse response;
+  const tensor::Shape expected = {task_.history, task_.num_nodes,
+                                  task_.input_dim};
+  if (!window.defined() || window.shape() != expected) {
+    response.status = Status::InvalidArgument(
+        "stream window shape " +
+        (window.defined() ? tensor::ShapeToString(window.shape())
+                          : std::string("<undefined>")) +
+        " != expected " + tensor::ShapeToString(expected));
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      response.status = Status::InvalidArgument("ForecastEngine is shut down");
+      return response;
+    }
+  }
+  const Clock::time_point started = Clock::now();
+  // Same team size as the worker loop: GEMM is bit-deterministic per
+  // thread count, so the fast path reproduces the queue path exactly.
+  core::TeamScope team(worker_team_);
+  autograd::InferenceModeGuard no_grad;
+  // One warm arena per calling thread — session threads get the same
+  // allocation-free steady state as engine workers.
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    // Reshape shares the window's storage (it may be a live ring view) —
+    // the forward only reads it.
+    autograd::Variable pred =
+        model_->Forward(window.Reshape({1, expected[0], expected[1],
+                                        expected[2]}),
+                        /*training=*/false);
+    const tensor::Tensor& p = pred.value();  // (1, T', N)
+    {
+      tensor::WorkspaceBypass bypass;
+      response.forecast = tensor::Tensor({p.size(1), p.size(2)});
+    }
+    std::memcpy(response.forecast.data(), p.data(),
+                static_cast<size_t>(p.numel()) * sizeof(float));
+  }
+  workspace.Reset();
+  response.batch_size = 1;
+  response.compute_micros = MicrosSince(started, Clock::now());
+  SamplePatternStats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += 1;
+    stats_.streamed += 1;
+  }
+  return response;
+}
+
+std::unique_ptr<train::StreamState> ForecastEngine::NewStreamState() const {
+  DYHSL_CHECK(streaming_ != nullptr);
+  return streaming_->MakeStreamState();
+}
+
+void ForecastEngine::AdvanceState(train::StreamState* state,
+                                  const tensor::Tensor& frame) {
+  DYHSL_CHECK(streaming_ != nullptr);
+  core::TeamScope team(worker_team_);
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    streaming_->StreamStep(state, frame);
+  }
+  workspace.Reset();
+}
+
+void ForecastEngine::ResyncState(train::StreamState* state,
+                                 const tensor::Tensor& window) {
+  DYHSL_CHECK(streaming_ != nullptr);
+  core::TeamScope team(worker_team_);
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    streaming_->ResyncState(state, window);
+  }
+  workspace.Reset();
+}
+
+ForecastResponse ForecastEngine::ForecastFromState(
+    const train::StreamState& state) {
+  DYHSL_CHECK(streaming_ != nullptr);
+  ForecastResponse response;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      response.status = Status::InvalidArgument("ForecastEngine is shut down");
+      return response;
+    }
+  }
+  const Clock::time_point started = Clock::now();
+  core::TeamScope team(worker_team_);
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    // StreamForecast heap-pins its result, so it survives the Reset.
+    response.forecast = streaming_->StreamForecast(state);
+  }
+  workspace.Reset();
+  response.batch_size = 1;
+  response.compute_micros = MicrosSince(started, Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += 1;
+    stats_.streamed += 1;
+  }
+  return response;
 }
 
 void ForecastEngine::WorkerLoop() {
@@ -291,6 +437,7 @@ void ForecastEngine::WorkerLoop() {
       ServeBatch(&batch);
     }
     workspace.Reset();
+    SamplePatternStats();
   }
 }
 

@@ -47,14 +47,18 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/baselines/gnn_models.h"
 #include "src/core/status.h"
 #include "src/models/dyhsl.h"
+#include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/train/checkpoint.h"
 #include "src/train/forecast_model.h"
 #include "src/train/model_zoo.h"
+#include "src/train/streaming.h"
 
 namespace dyhsl::serve {
 
@@ -141,6 +145,15 @@ struct EngineStats {
   int64_t effective_max_batch = 0;
   /// Requests waiting at snapshot time (not monotonic).
   int64_t queue_depth = 0;
+  /// Requests served through the synchronous streaming fast paths
+  /// (ForecastNow / ForecastFromState), counted in `requests` too.
+  int64_t streamed = 0;
+  /// Structure-reuse efficacy, summed over every thread that served
+  /// through this engine: the DyHSL TopKPatternCache counters when the
+  /// model is a pattern-reuse DyHSL, the DHGNN structure-cache counters
+  /// when it is a structure-reuse DHGNN, all zeros otherwise. Reuse is
+  /// observable in serving snapshots, not only in unit tests.
+  tensor::TopKPatternCache::Stats pattern;
 };
 
 /// \brief Loads a model + checkpoint once and serves batched grad-free
@@ -174,6 +187,30 @@ class ForecastEngine {
   /// always fulfilled — with a failed Status for malformed requests or
   /// an engine shutting down, never with a broken promise.
   std::future<ForecastResponse> Submit(ForecastRequest request);
+
+  /// \brief Synchronous streaming fast path: one grad-free forward over
+  /// `window` (T, N, F) on the *calling* thread, skipping the queue and
+  /// micro-batch delay entirely. The window may be (and in the session
+  /// path is) a zero-copy ring view — it is only read. Kernels run under
+  /// the same worker team size as the queue path, so the result is
+  /// bit-identical to a Submit of the same window at batch 1.
+  /// Thread-safe and usable concurrently with Submit.
+  ForecastResponse ForecastNow(const tensor::Tensor& window);
+
+  /// \name Warm recurrent-state serving
+  ///
+  /// Available when the model implements train::RecurrentStreamModel
+  /// (supports_streaming()); the non-Forecast calls abort otherwise.
+  /// All run on the calling thread under the engine's worker team size —
+  /// a ResyncState followed by ForecastFromState is bit-identical to
+  /// ForecastNow over the same window.
+  /// @{
+  bool supports_streaming() const { return streaming_ != nullptr; }
+  std::unique_ptr<train::StreamState> NewStreamState() const;
+  void AdvanceState(train::StreamState* state, const tensor::Tensor& frame);
+  void ResyncState(train::StreamState* state, const tensor::Tensor& window);
+  ForecastResponse ForecastFromState(const train::StreamState& state);
+  /// @}
 
   /// \brief Stops accepting new requests, serves everything already
   /// queued, and joins the worker threads. Idempotent; also run by the
@@ -215,10 +252,19 @@ class ForecastEngine {
   void WorkerLoop();
   /// Runs one packed grad-free forward and fulfills every promise.
   void ServeBatch(std::vector<Pending>* batch);
+  /// Publishes the calling thread's structure-cache counters (thread-
+  /// local caches) into pattern_by_thread_ so Snapshot() can sum them.
+  void SamplePatternStats();
 
   train::ForecastTask task_;
   EngineOptions options_;
   std::unique_ptr<train::ForecastModel> model_;
+  /// Set when model_ implements the streaming capability (DCRNN-style).
+  const train::RecurrentStreamModel* streaming_ = nullptr;
+  /// Set when model_ is a pattern-reuse DyHSL / structure-reuse DHGNN
+  /// (the models with observable cache counters).
+  const models::DyHsl* dyhsl_view_ = nullptr;
+  const baselines::Dhgnn* dhgnn_view_ = nullptr;
   train::ShardMeta shard_meta_;
   /// Resolved OpenMP team size per worker (see team_size()).
   int worker_team_ = 1;
@@ -228,6 +274,10 @@ class ForecastEngine {
   std::deque<Pending> queue_;
   bool stopping_ = false;
   EngineStats stats_;
+  /// Latest cache counters per serving thread (caches are thread-local;
+  /// snapshots sum across threads). Under mu_.
+  std::unordered_map<std::thread::id, tensor::TopKPatternCache::Stats>
+      pattern_by_thread_;
   /// EWMA of queue depth at flush (adaptive_batch mode), under mu_.
   double depth_ewma_ = 1.0;
   std::vector<std::thread> workers_;

@@ -6,9 +6,54 @@
 
 #include "src/core/check.h"
 #include "src/core/parallel.h"
+#include "src/tensor/workspace.h"
 #include "src/train/checkpoint.h"
 
 namespace dyhsl::serve {
+
+ScratchPool::ScratchPool(int64_t numel) : state_(std::make_shared<State>()) {
+  DYHSL_CHECK_GE(numel, 1);
+  state_->numel = numel;
+}
+
+tensor::Tensor ScratchPool::Acquire(tensor::Shape shape) {
+  DYHSL_CHECK_EQ(tensor::NumElements(shape), state_->numel);
+  std::shared_ptr<float[]> base;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->free_list.empty()) {
+      base = std::move(state_->free_list.back());
+      state_->free_list.pop_back();
+    } else {
+      state_->allocated += 1;
+    }
+  }
+  if (base == nullptr) {
+    // Always heap: pooled buffers outlive any step scope by design.
+    tensor::WorkspaceBypass bypass;
+    base = tensor::AllocateStorage(state_->numel);
+  }
+  // Hand out a fresh handle whose deleter returns the buffer. It captures
+  // the pool state (not the pool object), so a return that races pool
+  // destruction lands in a free list that is simply freed afterwards.
+  std::shared_ptr<State> state = state_;
+  std::shared_ptr<float[]> handle(
+      base.get(), [state, base](float*) mutable {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->free_list.push_back(std::move(base));
+      });
+  return tensor::Tensor::FromStorage(std::move(handle), std::move(shape));
+}
+
+int64_t ScratchPool::allocated() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->allocated;
+}
+
+int64_t ScratchPool::available() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return static_cast<int64_t>(state_->free_list.size());
+}
 
 Result<std::unique_ptr<ForecastRouter>> ForecastRouter::Create(
     const RouterOptions& options) {
@@ -167,6 +212,8 @@ Status ForecastRouter::AddShardedModel(const std::string& name,
         train::ShardTask(task, shard), factory, path,
         PlaceEngineOptions(options, s, plan.num_shards()));
     if (!created.ok()) return created.status();
+    entry.slice_pools.emplace_back(task.history * shard.num_local() *
+                                   task.input_dim);
     entry.shards.push_back(shard);
     entry.engines.push_back(std::move(created).ValueOrDie());
   }
@@ -175,20 +222,20 @@ Status ForecastRouter::AddShardedModel(const std::string& name,
 
 namespace {
 
-// Gathers one shard's local columns of a global (T, N, F) window into a
-// (T, L, F) slice: the owned block is one contiguous copy per step, the
-// halo columns (before and after it) follow one node at a time.
-tensor::Tensor GatherShardWindow(const tensor::Tensor& window,
-                                 const graph::ShardSpec& shard) {
+// Gathers one shard's local columns of a global (T, N, F) window into the
+// (T, L, F) slice `out` (a pooled scratch buffer): the owned block is one
+// contiguous copy per step, the halo columns (before and after it) follow
+// one node at a time.
+void GatherShardWindow(const tensor::Tensor& window,
+                       const graph::ShardSpec& shard, tensor::Tensor* out) {
   const int64_t t_steps = window.size(0);
   const int64_t n = window.size(1);
   const int64_t f = window.size(2);
   const int64_t local = shard.num_local();
   const int64_t owned = shard.owned_count();
   const int64_t offset = shard.owned_offset;
-  tensor::Tensor out({t_steps, local, f});
   const float* src = window.data();
-  float* dst = out.data();
+  float* dst = out->data();
   for (int64_t t = 0; t < t_steps; ++t) {
     const float* src_t = src + t * n * f;
     float* dst_t = dst + t * local * f;
@@ -203,7 +250,6 @@ tensor::Tensor GatherShardWindow(const tensor::Tensor& window,
                   static_cast<size_t>(f) * sizeof(float));
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -263,12 +309,17 @@ std::future<ForecastResponse> ForecastRouter::Submit(RouterRequest request) {
 
   // Phase 2, unlocked: the per-shard column gathers are the memcpy-heavy
   // part of routing — keeping them outside mu_ lets concurrent clients
-  // slice their windows in parallel.
+  // slice their windows in parallel. Slice buffers come from the
+  // per-shard scratch pools and return there when the engines finish
+  // with them, so steady-state routing allocates nothing.
   std::vector<tensor::Tensor> slices;
   if (entry->sharded) {
     slices.reserve(entry->shards.size());
-    for (const graph::ShardSpec& shard : entry->shards) {
-      slices.push_back(GatherShardWindow(request.window, shard));
+    for (size_t s = 0; s < entry->shards.size(); ++s) {
+      const graph::ShardSpec& shard = entry->shards[s];
+      slices.push_back(entry->slice_pools[s].Acquire(
+          {entry->history, shard.num_local(), entry->input_dim}));
+      GatherShardWindow(request.window, shard, &slices.back());
     }
   }
 
@@ -376,6 +427,51 @@ int64_t ForecastRouter::ShardCountOf(const std::string& name) const {
              : static_cast<int64_t>(it->second.engines.size());
 }
 
+Result<StreamRoute> ForecastRouter::RouteFor(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    return Status::InvalidArgument("ForecastRouter is shut down");
+  }
+  const ModelEntry* entry = nullptr;
+  if (!name.empty()) {
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      return Status::NotFound("no model '" + name + "' registered");
+    }
+    entry = &it->second;
+  } else if (models_.size() == 1) {
+    entry = &models_.begin()->second;
+  } else {
+    return Status::InvalidArgument(
+        models_.empty() ? "no models registered"
+                        : "route must name one of the " +
+                              std::to_string(models_.size()) +
+                              " registered models");
+  }
+  StreamRoute route;
+  route.model = entry->name;
+  route.sharded = entry->sharded;
+  route.num_nodes = entry->num_nodes;
+  route.history = entry->history;
+  route.horizon = entry->horizon;
+  route.input_dim = entry->input_dim;
+  route.shards = &entry->shards;
+  route.engines.reserve(entry->engines.size());
+  for (const auto& engine : entry->engines) route.engines.push_back(engine.get());
+  return route;
+}
+
+int64_t ForecastRouter::ScratchAllocated(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return 0;
+  int64_t total = 0;
+  for (const ScratchPool& pool : it->second.slice_pools) {
+    total += pool.allocated();
+  }
+  return total;
+}
+
 RouterStats ForecastRouter::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   RouterStats stats;
@@ -398,6 +494,11 @@ RouterStats ForecastRouter::Stats() const {
       stats.total.effective_max_batch = std::max(
           stats.total.effective_max_batch, e.stats.effective_max_batch);
       stats.total.queue_depth += e.stats.queue_depth;
+      stats.total.streamed += e.stats.streamed;
+      stats.total.pattern.selects += e.stats.pattern.selects;
+      stats.total.pattern.reuses += e.stats.pattern.reuses;
+      stats.total.pattern.drift_reselects += e.stats.pattern.drift_reselects;
+      stats.total.pattern.drifted_rows += e.stats.pattern.drifted_rows;
       stats.engines.push_back(std::move(e));
     }
   }

@@ -48,6 +48,57 @@ struct RouterRequest {
   tensor::Tensor window;
 };
 
+/// \brief Recycles fixed-size tensor buffers across requests. The router
+/// allocates one (T, L, F) slice per shard per Submit; at steady load
+/// that is pure allocator churn, since the slice count in flight is
+/// bounded by the engine queues. Acquire() hands out a pooled buffer
+/// whose deleter returns it to the free list — the pool only ever
+/// heap-allocates up to the high-water mark of concurrent slices.
+///
+/// Thread-safe. Copies share the pool. The deleter captures the shared
+/// pool state, so buffers released after the owning router is gone are
+/// still returned (to a free list that then just gets destroyed).
+class ScratchPool {
+ public:
+  explicit ScratchPool(int64_t numel);
+
+  /// \brief A pooled tensor of `shape` (its element count must equal the
+  /// pool's buffer size). Contents are uninitialized.
+  tensor::Tensor Acquire(tensor::Shape shape);
+
+  /// Buffers ever heap-allocated (the churn observable; tests assert it
+  /// stays at the concurrency high-water mark, not the request count).
+  int64_t allocated() const;
+  /// Buffers currently in the free list.
+  int64_t available() const;
+
+ private:
+  struct State {
+    std::mutex mu;
+    int64_t numel = 0;
+    int64_t allocated = 0;
+    std::vector<std::shared_ptr<float[]>> free_list;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Routing metadata for one registered model, resolved once per
+/// streaming session instead of per request: engine pointers and shard
+/// specs so a SessionManager can split ticks by shard range at Append
+/// time and hit the engines' synchronous fast paths at Forecast time.
+/// Pointers stay valid until ForecastRouter::Shutdown (entries are
+/// immutable after registration and map nodes are stable).
+struct StreamRoute {
+  std::string model;
+  bool sharded = false;
+  int64_t num_nodes = 0;
+  int64_t history = 0;
+  int64_t horizon = 0;
+  int64_t input_dim = 0;
+  const std::vector<graph::ShardSpec>* shards = nullptr;
+  std::vector<ForecastEngine*> engines;
+};
+
 /// \brief Per-engine stats snapshot, tagged with its fleet position and
 /// resolved threading (workers x team as actually placed).
 struct EngineStatsEntry {
@@ -167,6 +218,17 @@ class ForecastRouter {
   /// Engines hosted for `name` (1 for unsharded models), 0 if unknown.
   int64_t ShardCountOf(const std::string& name) const;
 
+  /// \brief Resolves the routing metadata for `name` (or the single
+  /// registered model when empty) — the once-per-session lookup the
+  /// streaming path uses instead of a per-request map walk. See
+  /// StreamRoute for the pointer-validity contract.
+  Result<StreamRoute> RouteFor(const std::string& name) const;
+
+  /// \brief Buffers the gather pools of `name` ever heap-allocated,
+  /// summed over its shards (0 for unknown or unsharded models). Tests
+  /// assert this tracks concurrency, not request count.
+  int64_t ScratchAllocated(const std::string& name) const;
+
   /// \brief Consistent per-engine snapshots plus fleet totals.
   RouterStats Stats() const;
 
@@ -181,6 +243,10 @@ class ForecastRouter {
     /// Shard specs (one identity-like spec for unsharded models).
     std::vector<graph::ShardSpec> shards;
     std::vector<std::unique_ptr<ForecastEngine>> engines;
+    /// Per-shard gather scratch pools (sharded models only): Submit
+    /// acquires each request's (T, L, F) slices here instead of
+    /// allocating fresh windows every request.
+    std::vector<ScratchPool> slice_pools;
   };
 
   struct StitchJob {

@@ -1,0 +1,460 @@
+#include "src/serve/session.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "src/core/check.h"
+#include "src/train/forecast_model.h"
+
+namespace dyhsl::serve {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// One open session. `mu` serializes Append against Forecast (a Push
+/// overwrites the oldest frame of a live window view); everything below
+/// it is guarded by `mu` except the lock-free recency stamps.
+struct SessionManager::Session {
+  std::mutex mu;
+
+  SessionOptions options;
+  StreamRoute route;
+  /// Scaling / calendar constants, copied once from the engine task so
+  /// the per-tick feature derivation never touches shared state.
+  float scaler_mean = 0.0f;
+  float scaler_std = 1.0f;
+  int64_t steps_per_day = 288;
+
+  int64_t next_tick = 0;
+  int64_t ticks = 0;
+  int64_t forecasts = 0;
+  int64_t resyncs = 0;
+  int64_t rejected = 0;
+  int64_t since_resync = 0;
+
+  /// One ring per engine: (N, F) frames unsharded, shard-local (L, F)
+  /// frames per shard. Ring storage lives in the manager arena.
+  std::vector<tensor::RingWindow> rings;
+  /// Per-tick feature staging, (N, F): the Push source for unsharded
+  /// sessions and the gather source for sharded ones.
+  tensor::Tensor staging;
+  /// Per-shard gathered frames, (L, F) in shard-local id order.
+  std::vector<tensor::Tensor> shard_frames;
+  /// Carried recurrent state per engine (warm sessions only).
+  std::vector<std::unique_ptr<train::StreamState>> states;
+
+  /// Rolling masked raw-flow moments (EMA of per-tick mean / mean-square
+  /// over unmasked readings).
+  bool stats_init = false;
+  double ema_mean = 0.0;
+  double ema_sq = 0.0;
+
+  /// Recency stamps, written through the shared_ptr outside `mu`.
+  std::atomic<uint64_t> last_used{0};
+  std::atomic<int64_t> last_touch_ns{0};
+};
+
+SessionManager::SessionManager(ForecastRouter* router,
+                               const SessionManagerOptions& options)
+    : router_(router), options_(options) {
+  DYHSL_CHECK(router_ != nullptr);
+  DYHSL_CHECK_GE(options_.max_sessions, 0);
+  DYHSL_CHECK_GE(options_.ttl_ms, 0);
+}
+
+SessionManager::~SessionManager() = default;
+
+std::shared_ptr<SessionManager::Session> SessionManager::Find(
+    const std::string& session_id) const {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return nullptr;
+    session = it->second;
+  }
+  session->last_used.store(use_seq_.fetch_add(1) + 1,
+                           std::memory_order_relaxed);
+  session->last_touch_ns.store(NowNs(), std::memory_order_relaxed);
+  return session;
+}
+
+void SessionManager::EvictLocked() {
+  // TTL first: an expired session should not survive just because it is
+  // also the LRU candidate someone else would have paid for.
+  if (options_.ttl_ms > 0) {
+    const int64_t cutoff = NowNs() - options_.ttl_ms * 1'000'000;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->last_touch_ns.load(std::memory_order_relaxed) <
+          cutoff) {
+        it = sessions_.erase(it);
+        evicted_ttl_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  while (options_.max_sessions > 0 &&
+         static_cast<int64_t>(sessions_.size()) >= options_.max_sessions) {
+    auto victim = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second->last_used.load(std::memory_order_relaxed) <
+          victim->second->last_used.load(std::memory_order_relaxed)) {
+        victim = it;
+      }
+    }
+    sessions_.erase(victim);
+    evicted_lru_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status SessionManager::Open(const std::string& session_id,
+                            const SessionOptions& options) {
+  if (session_id.empty()) {
+    return Status::InvalidArgument("session id must be non-empty");
+  }
+  if (options.start_tick < 0) {
+    return Status::InvalidArgument("SessionOptions.start_tick must be >= 0");
+  }
+  if (options.resync_every < 0) {
+    return Status::InvalidArgument("SessionOptions.resync_every must be >= 0");
+  }
+  if (!(options.stats_alpha > 0.0f && options.stats_alpha <= 1.0f)) {
+    return Status::InvalidArgument(
+        "SessionOptions.stats_alpha must be in (0, 1]");
+  }
+  auto routed = router_->RouteFor(options.model);
+  if (!routed.ok()) return routed.status();
+  StreamRoute route = std::move(routed).ValueOrDie();
+  if (route.input_dim != 3) {
+    return Status::InvalidArgument(
+        "streaming sessions require the 3-feature MakeInput layout; model '" +
+        route.model + "' has input_dim " + std::to_string(route.input_dim));
+  }
+  if (options.warm_state) {
+    for (ForecastEngine* engine : route.engines) {
+      if (!engine->supports_streaming()) {
+        return Status::InvalidArgument(
+            "model '" + route.model +
+            "' does not implement warm-state streaming "
+            "(train::RecurrentStreamModel)");
+      }
+    }
+  }
+
+  auto session = std::make_shared<Session>();
+  session->options = options;
+  session->route = std::move(route);
+  const train::ForecastTask& task = session->route.engines[0]->task();
+  session->scaler_mean = task.scaler_mean;
+  session->scaler_std = task.scaler_std;
+  session->steps_per_day = task.steps_per_day;
+  session->next_tick = options.start_tick;
+  if (options.warm_state) {
+    session->states.reserve(session->route.engines.size());
+    for (ForecastEngine* engine : session->route.engines) {
+      session->states.push_back(engine->NewStreamState());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(session_id) != 0) {
+    return Status::AlreadyExists("session '" + session_id +
+                                 "' is already open");
+  }
+  EvictLocked();
+  {
+    // Ring and staging storage lands in the manager arena; allocation is
+    // serialized by mu_, satisfying the Workspace threading contract.
+    tensor::WorkspaceScope scope(&arena_);
+    const StreamRoute& r = session->route;
+    if (r.sharded) {
+      session->rings.reserve(r.shards->size());
+      session->shard_frames.reserve(r.shards->size());
+      for (const graph::ShardSpec& shard : *r.shards) {
+        session->rings.emplace_back(
+            r.history, tensor::Shape{shard.num_local(), r.input_dim});
+        session->shard_frames.emplace_back(
+            tensor::Shape{shard.num_local(), r.input_dim});
+      }
+    } else {
+      session->rings.emplace_back(
+          r.history, tensor::Shape{r.num_nodes, r.input_dim});
+    }
+    session->staging = tensor::Tensor({session->route.num_nodes,
+                                       session->route.input_dim});
+  }
+  session->last_used.store(use_seq_.fetch_add(1) + 1,
+                           std::memory_order_relaxed);
+  session->last_touch_ns.store(NowNs(), std::memory_order_relaxed);
+  sessions_.emplace(session_id, std::move(session));
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SessionManager::Append(const std::string& session_id, int64_t tick,
+                              const tensor::Tensor& raw_flow) {
+  std::shared_ptr<Session> s = Find(session_id);
+  if (s == nullptr) {
+    return Status::NotFound("no open session '" + session_id + "'");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  const StreamRoute& route = s->route;
+  const tensor::Shape expected = {route.num_nodes};
+  if (!raw_flow.defined() || raw_flow.shape() != expected) {
+    return Status::InvalidArgument(
+        "tick frame shape " +
+        (raw_flow.defined() ? tensor::ShapeToString(raw_flow.shape())
+                            : std::string("<undefined>")) +
+        " != expected " + tensor::ShapeToString(expected));
+  }
+  if (tick != s->next_tick) {
+    s->rejected += 1;
+    rejected_ticks_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        (tick < s->next_tick
+             ? std::string("duplicate or out-of-order tick ")
+             : std::string("gapped tick ")) +
+        std::to_string(tick) + ": session expects tick " +
+        std::to_string(s->next_tick));
+  }
+
+  // Derive the MakeInput feature layout from the absolute tick, with the
+  // training scaler — bit-identical to TrafficDataset::MakeInput, which
+  // is what makes windowed session forecasts match batch submissions.
+  const int64_t n = route.num_nodes;
+  const int64_t f = route.input_dim;
+  const int64_t spd = s->steps_per_day;
+  const float tod =
+      static_cast<float>(tick % spd) / static_cast<float>(spd);
+  const float dow =
+      static_cast<float>((tick / spd) % 7) / 7.0f;
+  const float* raw = raw_flow.data();
+  float* staged = s->staging.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* dst = staged + i * f;
+    dst[0] = (raw[i] - s->scaler_mean) / s->scaler_std;
+    dst[1] = tod;
+    dst[2] = dow;
+  }
+
+  if (!route.sharded) {
+    s->rings[0].Push(staged);
+  } else {
+    for (size_t k = 0; k < route.shards->size(); ++k) {
+      const graph::ShardSpec& shard = (*route.shards)[k];
+      float* frame = s->shard_frames[k].data();
+      for (int64_t j = 0; j < shard.num_local(); ++j) {
+        std::memcpy(frame + j * f, staged + shard.locals[j] * f,
+                    static_cast<size_t>(f) * sizeof(float));
+      }
+      s->rings[k].Push(frame);
+    }
+  }
+
+  if (s->options.warm_state) {
+    // One encoder cell step per tick — the whole point of the warm path:
+    // Forecast later runs only the decoder.
+    for (size_t k = 0; k < route.engines.size(); ++k) {
+      const tensor::Tensor& frame =
+          route.sharded ? s->shard_frames[k] : s->staging;
+      route.engines[k]->AdvanceState(s->states[k].get(), frame);
+    }
+    s->since_resync += 1;
+    if (s->options.resync_every > 0 && s->rings[0].full() &&
+        s->since_resync >= s->options.resync_every) {
+      for (size_t k = 0; k < route.engines.size(); ++k) {
+        route.engines[k]->ResyncState(s->states[k].get(),
+                                      s->rings[k].Window());
+      }
+      s->since_resync = 0;
+      s->resyncs += 1;
+    }
+  }
+
+  // Rolling masked raw-flow moments (drift monitor; serving keeps the
+  // training scaler).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int64_t unmasked = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = raw[i];
+    if (v > s->options.mask_threshold) {
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+      unmasked += 1;
+    }
+  }
+  if (unmasked > 0) {
+    const double mean = sum / static_cast<double>(unmasked);
+    const double sq = sum_sq / static_cast<double>(unmasked);
+    if (!s->stats_init) {
+      s->ema_mean = mean;
+      s->ema_sq = sq;
+      s->stats_init = true;
+    } else {
+      const double a = s->options.stats_alpha;
+      s->ema_mean += a * (mean - s->ema_mean);
+      s->ema_sq += a * (sq - s->ema_sq);
+    }
+  }
+
+  s->next_tick += 1;
+  s->ticks += 1;
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ForecastResponse SessionManager::Forecast(const std::string& session_id) {
+  ForecastResponse out;
+  std::shared_ptr<Session> s = Find(session_id);
+  if (s == nullptr) {
+    out.status = Status::NotFound("no open session '" + session_id + "'");
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  const StreamRoute& route = s->route;
+  if (!s->rings[0].full()) {
+    out.status = Status::Unavailable(
+        "session has " + std::to_string(s->rings[0].count()) + " of " +
+        std::to_string(route.history) + " ticks buffered");
+    return out;
+  }
+
+  const bool warm = s->options.warm_state;
+  if (!route.sharded) {
+    out = warm ? route.engines[0]->ForecastFromState(*s->states[0])
+               : route.engines[0]->ForecastNow(s->rings[0].Window());
+  } else {
+    // Stitch shard forecasts exactly like the router: the owned block is
+    // contiguous in local id order, so dropping halos is one contiguous
+    // copy per horizon step. Shards run sequentially on the calling
+    // thread (the session fast path is a latency path, not a throughput
+    // path), so compute_micros sums over shards.
+    {
+      tensor::WorkspaceBypass bypass;
+      out.forecast = tensor::Tensor({route.horizon, route.num_nodes});
+    }
+    out.batch_size = 1;
+    for (size_t k = 0; k < route.engines.size(); ++k) {
+      ForecastResponse shard_response =
+          warm ? route.engines[k]->ForecastFromState(*s->states[k])
+               : route.engines[k]->ForecastNow(s->rings[k].Window());
+      if (!shard_response.status.ok()) {
+        ForecastResponse failed;
+        failed.status = std::move(shard_response.status);
+        return failed;
+      }
+      const graph::ShardSpec& shard = (*route.shards)[k];
+      const tensor::Tensor& fc = shard_response.forecast;  // (T', local)
+      DYHSL_CHECK_EQ(fc.size(0), route.horizon);
+      DYHSL_CHECK_EQ(fc.size(1), shard.num_local());
+      const int64_t owned = shard.owned_count();
+      for (int64_t t = 0; t < route.horizon; ++t) {
+        std::memcpy(
+            out.forecast.data() + t * route.num_nodes + shard.begin,
+            fc.data() + t * shard.num_local() + shard.owned_offset,
+            static_cast<size_t>(owned) * sizeof(float));
+      }
+      out.compute_micros += shard_response.compute_micros;
+    }
+  }
+  if (out.status.ok()) {
+    s->forecasts += 1;
+    forecasts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Status SessionManager::Close(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no open session '" + session_id + "'");
+  }
+  sessions_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+int64_t SessionManager::EvictExpired() {
+  if (options_.ttl_ms <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t before = evicted_ttl_.load(std::memory_order_relaxed);
+  const int64_t cutoff = NowNs() - options_.ttl_ms * 1'000'000;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->last_touch_ns.load(std::memory_order_relaxed) < cutoff) {
+      it = sessions_.erase(it);
+      evicted_ttl_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+  return evicted_ttl_.load(std::memory_order_relaxed) - before;
+}
+
+Result<SessionStats> SessionManager::SessionInfo(
+    const std::string& session_id) const {
+  std::shared_ptr<Session> session;
+  {
+    // Deliberately not Find(): monitoring must not refresh recency and
+    // keep an idle session alive forever.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no open session '" + session_id + "'");
+    }
+    session = it->second;
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  SessionStats stats;
+  stats.model = session->route.model;
+  stats.warm = session->options.warm_state;
+  stats.next_tick = session->next_tick;
+  stats.ticks = session->ticks;
+  stats.forecasts = session->forecasts;
+  stats.resyncs = session->resyncs;
+  stats.rejected_ticks = session->rejected;
+  stats.buffered = session->rings[0].count();
+  stats.rolling_mean = static_cast<float>(session->ema_mean);
+  const double var = session->ema_sq - session->ema_mean * session->ema_mean;
+  stats.rolling_std = static_cast<float>(std::sqrt(var > 0.0 ? var : 0.0));
+  if (session->scaler_std > 0.0f) {
+    stats.drift_score =
+        std::fabs(stats.rolling_mean - session->scaler_mean) /
+        session->scaler_std;
+  }
+  return stats;
+}
+
+SessionManagerStats SessionManager::Stats() const {
+  SessionManagerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.open = static_cast<int64_t>(sessions_.size());
+  }
+  stats.opened = opened_.load(std::memory_order_relaxed);
+  stats.closed = closed_.load(std::memory_order_relaxed);
+  stats.evicted_lru = evicted_lru_.load(std::memory_order_relaxed);
+  stats.evicted_ttl = evicted_ttl_.load(std::memory_order_relaxed);
+  stats.ticks = ticks_.load(std::memory_order_relaxed);
+  stats.forecasts = forecasts_.load(std::memory_order_relaxed);
+  stats.rejected_ticks = rejected_ticks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int64_t SessionManager::OpenSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+}  // namespace dyhsl::serve

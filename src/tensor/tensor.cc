@@ -78,6 +78,26 @@ Tensor Tensor::Arange(int64_t n) {
 
 Tensor Tensor::Scalar(float value) { return Full({1}, value); }
 
+Tensor Tensor::FromStorage(std::shared_ptr<float[]> storage, Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElements(t.shape_);
+  DYHSL_CHECK(storage != nullptr || t.numel_ == 0);
+  t.storage_ = std::move(storage);
+  return t;
+}
+
+Tensor Tensor::Alias(int64_t offset_floats, Shape new_shape) const {
+  DYHSL_CHECK(defined());
+  DYHSL_CHECK_GE(offset_floats, 0);
+  const int64_t view_numel = NumElements(new_shape);
+  DYHSL_CHECK_LE(offset_floats + view_numel, numel_);
+  // Aliasing constructor: shares this storage's control block but points
+  // at the offset — the view pins the whole buffer.
+  std::shared_ptr<float[]> view(storage_, storage_.get() + offset_floats);
+  return FromStorage(std::move(view), std::move(new_shape));
+}
+
 int64_t Tensor::size(int64_t axis) const {
   if (axis < 0) axis += dim();
   DYHSL_CHECK_GE(axis, 0);

@@ -59,6 +59,14 @@ class Tensor {
   static Tensor Arange(int64_t n);
   /// Rank-0-like scalar represented as shape {1}.
   static Tensor Scalar(float value);
+  /// Wraps existing storage without copying — the zero-copy view factory
+  /// used by ring buffers (src/tensor/ring.h), which alias a window inside
+  /// a larger buffer via the shared_ptr aliasing constructor. The wrapped
+  /// pointer must stay valid for the storage's lifetime; because the view
+  /// shares ownership, UniqueStorage() is false on both sides, which is
+  /// exactly what keeps the in-place inference fast paths from mutating
+  /// the underlying buffer through the view.
+  static Tensor FromStorage(std::shared_ptr<float[]> storage, Shape shape);
   /// @}
 
   const Shape& shape() const { return shape_; }
@@ -77,6 +85,13 @@ class Tensor {
   /// \brief Returns a tensor sharing this storage with a new shape.
   /// One dimension may be -1 (inferred). Element count must match.
   Tensor Reshape(Shape new_shape) const;
+
+  /// \brief Zero-copy view of `new_shape` starting `offset_floats` into
+  /// this storage (shared_ptr aliasing constructor: the view keeps the
+  /// whole buffer alive). The window [offset, offset + numel) must lie
+  /// inside this tensor. Like Reshape, the view stays contiguous
+  /// row-major; unlike Reshape it may cover a strict sub-range.
+  Tensor Alias(int64_t offset_floats, Shape new_shape) const;
 
   /// \brief Deep copy.
   Tensor Clone() const;

@@ -96,7 +96,9 @@ std::unique_ptr<ForecastModel> MakeNeuralModel(const std::string& key,
   }
   if (key == "DHGNN") {
     return std::make_unique<baselines::Dhgnn>(task, d, /*clusters=*/8,
-                                              /*knn=*/4, seed);
+                                              /*knn=*/4, seed,
+                                              config.dhgnn_structure_reuse,
+                                              config.dhgnn_drift_threshold);
   }
   if (key == "STGODE") {
     return std::make_unique<baselines::StgOde>(task, d, /*rk4_steps=*/3,

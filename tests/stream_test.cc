@@ -1,0 +1,736 @@
+// Tests for the streaming ingestion path: RingWindow wraparound and
+// zero-copy views, TickStream replay, SessionManager lifecycle (strict
+// tick sequencing, eviction, TTL, rolling stats), exactness of session
+// forecasts against full-window submission for every zoo model, warm
+// recurrent-state carry and resync on DCRNN, DHGNN structure reuse, and
+// the router's pooled gather scratch.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/autograd/inference.h"
+#include "src/data/dataset.h"
+#include "src/data/stream.h"
+#include "src/graph/shard.h"
+#include "src/serve/engine.h"
+#include "src/serve/router.h"
+#include "src/serve/session.h"
+#include "src/tensor/ring.h"
+#include "src/train/model_zoo.h"
+#include "tests/testing_utils.h"
+
+namespace dyhsl::serve {
+namespace {
+
+namespace T = ::dyhsl::tensor;
+
+using ::dyhsl::testing::TensorEq;
+using ::dyhsl::testing::TensorNear;
+
+// One small dataset shared by every test in this file.
+const data::TrafficDataset& SharedDataset() {
+  static const data::TrafficDataset* dataset = [] {
+    data::DatasetSpec spec = data::DatasetSpec::Pems08Like(0.1, 2, 5);
+    return new data::TrafficDataset(data::TrafficDataset::Generate(spec));
+  }();
+  return *dataset;
+}
+
+train::ZooConfig TinyZoo(uint64_t seed = 13) {
+  train::ZooConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Streams ticks [start, start + count) from the shared dataset into a
+// session, asserting every Append is accepted.
+void StreamTicks(SessionManager* manager, const std::string& id,
+                 int64_t start, int64_t count) {
+  data::TickStream stream(SharedDataset().traffic(), start, start + count);
+  for (; !stream.Done(); stream.Advance()) {
+    Status s = manager->Append(id, stream.tick(), stream.Frame());
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+// ----------------------------------------------------------- RingWindow --
+
+TEST(RingWindowTest, WindowIsContiguousAcrossWraparound) {
+  constexpr int64_t kSteps = 5;
+  constexpr int64_t kFrame = 3;
+  T::RingWindow ring(kSteps, {kFrame});
+  // Push 2.5x the capacity so the cursor wraps multiple times.
+  for (int64_t tick = 0; tick < 13; ++tick) {
+    float frame[kFrame];
+    for (int64_t i = 0; i < kFrame; ++i) {
+      frame[i] = static_cast<float>(tick * 100 + i);
+    }
+    ring.Push(frame);
+    EXPECT_EQ(ring.total_pushed(), tick + 1);
+    EXPECT_EQ(ring.count(), std::min<int64_t>(tick + 1, kSteps));
+    if (!ring.full()) continue;
+    T::Tensor window = ring.Window();
+    ASSERT_EQ(window.shape(), (T::Shape{kSteps, kFrame}));
+    // Oldest-first: row r holds tick (tick - kSteps + 1 + r).
+    for (int64_t r = 0; r < kSteps; ++r) {
+      for (int64_t i = 0; i < kFrame; ++i) {
+        EXPECT_EQ(window.data()[r * kFrame + i],
+                  static_cast<float>((tick - kSteps + 1 + r) * 100 + i))
+            << "tick " << tick << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(RingWindowTest, WindowIsZeroCopyAndLastFramesAgree) {
+  T::RingWindow ring(4, {2, 3});
+  std::vector<float> frame(6);
+  for (int64_t tick = 0; tick < 9; ++tick) {
+    for (size_t i = 0; i < frame.size(); ++i) {
+      frame[i] = static_cast<float>(tick * 10) + static_cast<float>(i);
+    }
+    ring.Push(frame.data());
+  }
+  T::Tensor window = ring.Window();
+  ASSERT_EQ(window.shape(), (T::Shape{4, 2, 3}));
+  // A second view of the same state aliases the same storage — no copy.
+  EXPECT_EQ(ring.Window().data(), window.data());
+  T::Tensor last2 = ring.LastFrames(2);
+  ASSERT_EQ(last2.shape(), (T::Shape{2, 2, 3}));
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(last2.data()[i], window.data()[2 * 6 + i]);
+    EXPECT_EQ(last2.data()[6 + i], window.data()[3 * 6 + i]);
+  }
+  // Views alias the live ring: the next Push is visible through them.
+  ring.Clear();
+  EXPECT_EQ(ring.count(), 0);
+  EXPECT_FALSE(ring.full());
+}
+
+// ----------------------------------------------------------- TickStream --
+
+TEST(TickStreamTest, ReplaysRawFlowRowsZeroCopy) {
+  const data::TrafficData& traffic = SharedDataset().traffic();
+  const int64_t n = traffic.flow.size(1);
+  data::TickStream stream(traffic, 3, 8);
+  EXPECT_EQ(stream.num_nodes(), n);
+  int64_t expected_tick = 3;
+  for (; !stream.Done(); stream.Advance()) {
+    EXPECT_EQ(stream.tick(), expected_tick);
+    T::Tensor frame = stream.Frame();
+    ASSERT_EQ(frame.shape(), (T::Shape{n}));
+    // Zero-copy: the frame points straight into the series.
+    EXPECT_EQ(frame.data(), traffic.flow.data() + expected_tick * n);
+    ++expected_tick;
+  }
+  EXPECT_EQ(expected_tick, 8);
+  EXPECT_EQ(stream.remaining(), 0);
+}
+
+// ------------------------------------------- Session forecast exactness --
+
+// The headline acceptance: for every model in the zoo, a streamed
+// session's forecast is bit-identical to submitting the full window
+// through the batch router path.
+TEST(StreamSessionTest, SessionForecastMatchesFullWindowSubmitForAllModels) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  for (const std::string& key : train::NeuralModelKeys()) {
+    Status s = router->AddModel(key, task, ZooFactory(key, TinyZoo()));
+    ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+  }
+  SessionManager manager(router.get());
+
+  const int64_t t0 = 17;  // arbitrary stream start inside the series
+  for (const std::string& key : train::NeuralModelKeys()) {
+    SessionOptions options;
+    options.model = key;
+    options.start_tick = t0;
+    ASSERT_TRUE(manager.Open("s-" + key, options).ok()) << key;
+  }
+  // Stream past one full window plus a few slides, comparing at each
+  // position: the session window must equal MakeInput of the same start.
+  const int64_t slides = 3;
+  data::TickStream stream(ds.traffic(), t0, t0 + task.history + slides);
+  for (; !stream.Done(); stream.Advance()) {
+    for (const std::string& key : train::NeuralModelKeys()) {
+      Status s =
+          manager.Append("s-" + key, stream.tick(), stream.Frame());
+      ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+    }
+    const int64_t appended = stream.tick() - t0 + 1;
+    if (appended < task.history) continue;
+    const int64_t window_start = stream.tick() + 1 - task.history;
+    T::Tensor window = ds.MakeInput(window_start);
+    for (const std::string& key : train::NeuralModelKeys()) {
+      ForecastResponse streamed = manager.Forecast("s-" + key);
+      ASSERT_TRUE(streamed.status.ok())
+          << key << ": " << streamed.status.ToString();
+      ForecastResponse batch =
+          router->Submit(RouterRequest{key, window.Clone()}).get();
+      ASSERT_TRUE(batch.status.ok())
+          << key << ": " << batch.status.ToString();
+      EXPECT_TRUE(TensorEq(streamed.forecast, batch.forecast))
+          << key << " at window start " << window_start;
+    }
+  }
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.open, static_cast<int64_t>(train::NeuralModelKeys().size()));
+  EXPECT_GT(stats.forecasts, 0);
+}
+
+TEST(StreamSessionTest, ShardedSessionMatchesShardedRouterSubmit) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  graph::ShardPlan plan = graph::ShardPlan::Build(task.spatial_adj, 2, 1);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(router
+                  ->AddShardedModel("stgcn2", task, plan,
+                                    ZooFactory("STGCN", TinyZoo()))
+                  .ok());
+  SessionManager manager(router.get());
+  SessionOptions options;
+  options.model = "stgcn2";
+  ASSERT_TRUE(manager.Open("shardy", options).ok());
+
+  StreamTicks(&manager, "shardy", 0, task.history + 2);
+  T::Tensor window = ds.MakeInput(2);
+  ForecastResponse streamed = manager.Forecast("shardy");
+  ASSERT_TRUE(streamed.status.ok()) << streamed.status.ToString();
+  ForecastResponse batch =
+      router->Submit(RouterRequest{"stgcn2", window.Clone()}).get();
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  EXPECT_TRUE(TensorEq(streamed.forecast, batch.forecast));
+}
+
+// ------------------------------------------------- Warm-state streaming --
+
+TEST(StreamSessionTest, WarmCarryIsBitIdenticalToColdEncoderOverAllTicks) {
+  // The carry contract: StreamStep over every tick since open equals a
+  // cold encoder pass over the whole stream. Checked by comparing a warm
+  // DCRNN session fed S ticks against a *cold* session of a history=S
+  // DCRNN built from the same seed (parameter init does not depend on
+  // history, so the two models share every weight bit).
+  const data::TrafficDataset& ds = SharedDataset();
+  const int64_t kStream = 18;
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  train::ForecastTask long_task = task;
+  long_task.history = kStream;
+
+  auto warm_router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      warm_router->AddModel("dcrnn", task, ZooFactory("DCRNN", TinyZoo()))
+          .ok());
+  auto long_router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(long_router
+                  ->AddModel("dcrnn", long_task,
+                             ZooFactory("DCRNN", TinyZoo()))
+                  .ok());
+
+  SessionManager warm_manager(warm_router.get());
+  SessionOptions warm_options;
+  warm_options.warm_state = true;
+  ASSERT_TRUE(warm_manager.Open("w", warm_options).ok());
+  SessionManager long_manager(long_router.get());
+  ASSERT_TRUE(long_manager.Open("c", SessionOptions()).ok());
+
+  data::TickStream stream(ds.traffic(), 0, kStream);
+  for (; !stream.Done(); stream.Advance()) {
+    ASSERT_TRUE(warm_manager.Append("w", stream.tick(), stream.Frame()).ok());
+    ASSERT_TRUE(long_manager.Append("c", stream.tick(), stream.Frame()).ok());
+  }
+  ForecastResponse warm = warm_manager.Forecast("w");
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  ForecastResponse cold = long_manager.Forecast("c");
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_TRUE(TensorEq(warm.forecast, cold.forecast));
+}
+
+TEST(StreamSessionTest, ResyncEveryTickMatchesWindowedReferenceExactly) {
+  // resync_every=1 rebuilds the carried state from the ring window after
+  // every Append, so a warm session must then be bit-identical to the
+  // windowed (cold) session at every position.
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("dcrnn", task, ZooFactory("DCRNN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+
+  SessionOptions warm_options;
+  warm_options.warm_state = true;
+  warm_options.resync_every = 1;
+  ASSERT_TRUE(manager.Open("warm", warm_options).ok());
+  ASSERT_TRUE(manager.Open("cold", SessionOptions()).ok());
+
+  data::TickStream stream(ds.traffic(), 0, task.history + 4);
+  for (; !stream.Done(); stream.Advance()) {
+    ASSERT_TRUE(manager.Append("warm", stream.tick(), stream.Frame()).ok());
+    ASSERT_TRUE(manager.Append("cold", stream.tick(), stream.Frame()).ok());
+    if (stream.tick() + 1 < task.history) continue;
+    ForecastResponse warm = manager.Forecast("warm");
+    ForecastResponse cold = manager.Forecast("cold");
+    ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+    ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+    EXPECT_TRUE(TensorEq(warm.forecast, cold.forecast))
+        << "at tick " << stream.tick();
+  }
+  auto info = manager.SessionInfo("warm");
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info.ValueOrDie().resyncs, 4);
+  EXPECT_TRUE(info.ValueOrDie().warm);
+}
+
+TEST(StreamSessionTest, WarmWithoutResyncDriftsThenResyncRestoresExactness) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("dcrnn", task, ZooFactory("DCRNN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+
+  const int64_t kCadence = 8;
+  SessionOptions warm_options;
+  warm_options.warm_state = true;
+  warm_options.resync_every = kCadence;
+  ASSERT_TRUE(manager.Open("warm", warm_options).ok());
+  ASSERT_TRUE(manager.Open("cold", SessionOptions()).ok());
+
+  // Stream until the ring has been full for exactly one resync cadence:
+  // the final Append triggers the rebuild, after which the forecast must
+  // again match the windowed reference bit for bit. Forecasts *between*
+  // resyncs may drift (the carry remembers pre-window ticks) but must
+  // stay finite.
+  data::TickStream stream(ds.traffic(), 0, task.history + kCadence);
+  bool saw_mid_cadence_forecast = false;
+  for (; !stream.Done(); stream.Advance()) {
+    ASSERT_TRUE(manager.Append("warm", stream.tick(), stream.Frame()).ok());
+    ASSERT_TRUE(manager.Append("cold", stream.tick(), stream.Frame()).ok());
+    const int64_t appended = stream.tick() + 1;
+    if (appended >= task.history && appended < task.history + kCadence) {
+      ForecastResponse warm = manager.Forecast("warm");
+      ASSERT_TRUE(warm.status.ok());
+      for (int64_t i = 0; i < warm.forecast.numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(warm.forecast.data()[i]));
+      }
+      saw_mid_cadence_forecast = true;
+    }
+  }
+  EXPECT_TRUE(saw_mid_cadence_forecast);
+  auto info = manager.SessionInfo("warm");
+  ASSERT_TRUE(info.ok());
+  // The cadence counts Appends since open, so the first resync fires the
+  // moment the ring fills (12 >= 8) and the second one 8 ticks later, on
+  // the final Append.
+  EXPECT_EQ(info.ValueOrDie().resyncs, 2);
+  ForecastResponse warm = manager.Forecast("warm");
+  ForecastResponse cold = manager.Forecast("cold");
+  ASSERT_TRUE(warm.status.ok());
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_TRUE(TensorEq(warm.forecast, cold.forecast));
+}
+
+TEST(StreamSessionTest, WarmStateRequiresStreamingModel) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  SessionOptions options;
+  options.warm_state = true;
+  Status s = manager.Open("nope", options);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.OpenSessions(), 0);
+}
+
+// ------------------------------------------------ Lifecycle and policy --
+
+TEST(StreamSessionTest, RejectsDuplicateOutOfOrderAndGappedTicks) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+
+  data::TickStream stream(ds.traffic(), 0, 4);
+  T::Tensor frame0 = stream.Frame().Clone();
+  ASSERT_TRUE(manager.Append("s", 0, frame0).ok());
+  // Duplicate.
+  Status dup = manager.Append("s", 0, frame0);
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  // Out of order (before the stream position).
+  Status old = manager.Append("s", -3, frame0);
+  EXPECT_EQ(old.code(), StatusCode::kInvalidArgument);
+  // Gap (skipping ahead).
+  Status gap = manager.Append("s", 5, frame0);
+  EXPECT_EQ(gap.code(), StatusCode::kInvalidArgument);
+  // Wrong shape.
+  Status shape = manager.Append("s", 1, T::Tensor({3}));
+  EXPECT_EQ(shape.code(), StatusCode::kInvalidArgument);
+  // The session is untouched: the correct next tick still lands.
+  ASSERT_TRUE(manager.Append("s", 1, frame0).ok());
+
+  auto info = manager.SessionInfo("s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.ValueOrDie().ticks, 2);
+  EXPECT_EQ(info.ValueOrDie().rejected_ticks, 3);  // shape is not a tick error
+  EXPECT_EQ(info.ValueOrDie().next_tick, 2);
+  EXPECT_EQ(manager.Stats().rejected_ticks, 3);
+}
+
+TEST(StreamSessionTest, ForecastUnavailableUntilWindowFills) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+
+  ForecastResponse empty = manager.Forecast("s");
+  EXPECT_EQ(empty.status.code(), StatusCode::kUnavailable);
+  StreamTicks(&manager, "s", 0, task.history - 1);
+  ForecastResponse short_one = manager.Forecast("s");
+  EXPECT_EQ(short_one.status.code(), StatusCode::kUnavailable);
+  data::TickStream last(ds.traffic(), task.history - 1, task.history);
+  ASSERT_TRUE(manager.Append("s", last.tick(), last.Frame()).ok());
+  ForecastResponse full = manager.Forecast("s");
+  EXPECT_TRUE(full.status.ok()) << full.status.ToString();
+  // Unknown session.
+  EXPECT_EQ(manager.Forecast("ghost").status.code(), StatusCode::kNotFound);
+}
+
+TEST(StreamSessionTest, OpenValidatesAndCloseRemoves) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+
+  EXPECT_EQ(manager.Open("", SessionOptions()).code(),
+            StatusCode::kInvalidArgument);
+  SessionOptions unknown;
+  unknown.model = "nope";
+  EXPECT_EQ(manager.Open("s", unknown).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+  EXPECT_EQ(manager.Open("s", SessionOptions()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(manager.Close("s").ok());
+  EXPECT_EQ(manager.Close("s").code(), StatusCode::kNotFound);
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.opened, 1);
+  EXPECT_EQ(stats.closed, 1);
+  EXPECT_EQ(stats.open, 0);
+}
+
+TEST(StreamSessionTest, LruEvictionAtCapacityKeepsRecentlyUsed) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManagerOptions mgr_options;
+  mgr_options.max_sessions = 2;
+  SessionManager manager(router.get(), mgr_options);
+
+  ASSERT_TRUE(manager.Open("a", SessionOptions()).ok());
+  ASSERT_TRUE(manager.Open("b", SessionOptions()).ok());
+  // Touch "a" so "b" becomes the LRU victim.
+  T::Tensor frame({8});
+  frame.Fill(1.0f);
+  ASSERT_TRUE(manager.Append("a", 0, frame).ok());
+  ASSERT_TRUE(manager.Open("c", SessionOptions()).ok());
+  EXPECT_EQ(manager.OpenSessions(), 2);
+  EXPECT_TRUE(manager.SessionInfo("a").ok());
+  EXPECT_FALSE(manager.SessionInfo("b").ok());
+  EXPECT_TRUE(manager.SessionInfo("c").ok());
+  EXPECT_EQ(manager.Stats().evicted_lru, 1);
+}
+
+TEST(StreamSessionTest, TtlEvictsIdleSessions) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManagerOptions mgr_options;
+  mgr_options.ttl_ms = 50;
+  SessionManager manager(router.get(), mgr_options);
+
+  ASSERT_TRUE(manager.Open("idle", SessionOptions()).ok());
+  EXPECT_EQ(manager.EvictExpired(), 0);  // freshly touched
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(manager.EvictExpired(), 1);
+  EXPECT_EQ(manager.OpenSessions(), 0);
+  EXPECT_EQ(manager.Stats().evicted_ttl, 1);
+}
+
+TEST(StreamSessionTest, RollingStatsTrackMaskedFlowAndDrift) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  SessionOptions options;
+  options.stats_alpha = 0.5f;
+  ASSERT_TRUE(manager.Open("s", options).ok());
+
+  T::Tensor frame({8});
+  frame.Fill(100.0f);
+  ASSERT_TRUE(manager.Append("s", 0, frame).ok());
+  auto info = manager.SessionInfo("s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FLOAT_EQ(info.ValueOrDie().rolling_mean, 100.0f);
+  EXPECT_FLOAT_EQ(info.ValueOrDie().rolling_std, 0.0f);
+  const float expected_drift =
+      std::fabs(100.0f - task.scaler_mean) / task.scaler_std;
+  EXPECT_NEAR(info.ValueOrDie().drift_score, expected_drift, 1e-4f);
+
+  // A fully masked tick (sensor dropout everywhere) must not move them.
+  T::Tensor zeros({8});
+  zeros.Fill(0.0f);
+  ASSERT_TRUE(manager.Append("s", 1, zeros).ok());
+  auto after = manager.SessionInfo("s");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FLOAT_EQ(after.ValueOrDie().rolling_mean, 100.0f);
+
+  // A different level pulls the EMA halfway (alpha = 0.5).
+  T::Tensor frame2({8});
+  frame2.Fill(200.0f);
+  ASSERT_TRUE(manager.Append("s", 2, frame2).ok());
+  auto moved = manager.SessionInfo("s");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_FLOAT_EQ(moved.ValueOrDie().rolling_mean, 150.0f);
+  EXPECT_GT(moved.ValueOrDie().rolling_std, 0.0f);
+}
+
+TEST(StreamSessionTest, ConcurrentAppendAndForecastStaySequenced) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+
+  constexpr int64_t kTicks = 40;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> ok_forecasts{0};
+  std::thread appender([&] {
+    data::TickStream stream(ds.traffic(), 0, kTicks);
+    for (; !stream.Done(); stream.Advance()) {
+      Status s = manager.Append("s", stream.tick(), stream.Frame());
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    done.store(true);
+  });
+  std::thread forecaster([&] {
+    while (!done.load()) {
+      ForecastResponse r = manager.Forecast("s");
+      // Until the ring fills the only legal failure is Unavailable.
+      if (r.status.ok()) {
+        ok_forecasts.fetch_add(1);
+        ASSERT_EQ(r.forecast.shape(), (T::Shape{task.horizon, task.num_nodes}));
+      } else {
+        ASSERT_EQ(r.status.code(), StatusCode::kUnavailable)
+            << r.status.ToString();
+      }
+    }
+  });
+  appender.join();
+  forecaster.join();
+  ForecastResponse final_forecast = manager.Forecast("s");
+  EXPECT_TRUE(final_forecast.status.ok());
+  auto info = manager.SessionInfo("s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.ValueOrDie().ticks, kTicks);
+  EXPECT_EQ(info.ValueOrDie().rejected_ticks, 0);
+}
+
+// ------------------------------------------- Structure reuse and stats --
+
+TEST(StreamSessionTest, DhgnnStructureReuseIsExactOnIdenticalWindows) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  train::ZooConfig reuse_cfg = TinyZoo();
+  reuse_cfg.dhgnn_structure_reuse = true;
+  auto fresh = train::MakeNeuralModel("DHGNN", task, TinyZoo());
+  auto cached = train::MakeNeuralModel("DHGNN", task, reuse_cfg);
+  auto* cached_dhgnn = dynamic_cast<baselines::Dhgnn*>(cached.get());
+  ASSERT_NE(cached_dhgnn, nullptr);
+  cached_dhgnn->ClearStructureCache();
+
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor x = ds.MakeInput(5).Reshape({1, task.history, task.num_nodes, 3});
+  T::Tensor reference = fresh->Forward(x, false).value();
+  T::Tensor first = cached->Forward(x, false).value();
+  T::Tensor second = cached->Forward(x, false).value();
+  // Identical signatures pass the drift check with zero drifted nodes,
+  // and the reused structure is the one an identical rebuild would give.
+  EXPECT_TRUE(TensorEq(first, reference));
+  EXPECT_TRUE(TensorEq(second, reference));
+  T::TopKPatternCache::Stats stats = cached_dhgnn->StructureCacheStats();
+  EXPECT_EQ(stats.selects, 1);
+  EXPECT_EQ(stats.reuses, 1);
+  EXPECT_EQ(stats.drift_reselects, 0);
+}
+
+TEST(StreamSessionTest, DhgnnDriftForcesRebuildMatchingFreshModel) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  train::ZooConfig reuse_cfg = TinyZoo();
+  reuse_cfg.dhgnn_structure_reuse = true;
+  reuse_cfg.dhgnn_drift_threshold = 0.0f;  // any drifted node rebuilds
+  auto fresh = train::MakeNeuralModel("DHGNN", task, TinyZoo());
+  auto cached = train::MakeNeuralModel("DHGNN", task, reuse_cfg);
+  auto* cached_dhgnn = dynamic_cast<baselines::Dhgnn*>(cached.get());
+  ASSERT_NE(cached_dhgnn, nullptr);
+  cached_dhgnn->ClearStructureCache();
+
+  autograd::InferenceModeGuard no_grad;
+  T::Tensor x1 = ds.MakeInput(5).Reshape({1, task.history, task.num_nodes, 3});
+  // A far-away window: the per-node signature means move, so with a zero
+  // threshold the cache must rebuild and match the fresh model exactly.
+  T::Tensor x2 =
+      ds.MakeInput(300).Reshape({1, task.history, task.num_nodes, 3});
+  (void)cached->Forward(x1, false);
+  T::Tensor rebuilt = cached->Forward(x2, false).value();
+  T::Tensor reference = fresh->Forward(x2, false).value();
+  EXPECT_TRUE(TensorEq(rebuilt, reference));
+  T::TopKPatternCache::Stats stats = cached_dhgnn->StructureCacheStats();
+  EXPECT_EQ(stats.selects, 1);
+  EXPECT_EQ(stats.drift_reselects, 1);
+}
+
+TEST(StreamSessionTest, StructureCacheStatsSurfaceThroughEngineAndRouter) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  train::ZooConfig reuse_cfg = TinyZoo();
+  reuse_cfg.dhgnn_structure_reuse = true;
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("dhgnn", task, ZooFactory("DHGNN", reuse_cfg)).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+  StreamTicks(&manager, "s", 0, task.history + 2);
+  ASSERT_TRUE(manager.Forecast("s").status.ok());
+  ASSERT_TRUE(manager.Forecast("s").status.ok());
+
+  RouterStats stats = router->Stats();
+  EXPECT_GE(stats.total.streamed, 2);
+  EXPECT_GE(stats.total.pattern.selects, 1);
+  EXPECT_GE(stats.total.pattern.selects + stats.total.pattern.reuses +
+                stats.total.pattern.drift_reselects,
+            2);
+  ASSERT_EQ(stats.engines.size(), 1u);
+  EXPECT_EQ(stats.engines[0].stats.streamed, stats.total.streamed);
+}
+
+TEST(StreamSessionTest, EngineSnapshotCountsStreamedRequests) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto engine =
+      std::move(ForecastEngine::Create(task, ZooFactory("STGCN", TinyZoo())))
+          .ValueOrDie();
+  Rng rng(3);
+  T::Tensor window =
+      T::Tensor::Randn({task.history, task.num_nodes, task.input_dim}, &rng,
+                       0.5f);
+  ForecastResponse now = engine->ForecastNow(window);
+  ASSERT_TRUE(now.status.ok()) << now.status.ToString();
+  ForecastResponse queued = engine->Submit(ForecastRequest{window.Clone()}).get();
+  ASSERT_TRUE(queued.status.ok());
+  // The synchronous fast path is bit-identical to the queue path.
+  EXPECT_TRUE(TensorEq(now.forecast, queued.forecast));
+  EngineStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.streamed, 1);
+  // Shape validation fails fast, without touching the queue.
+  EXPECT_EQ(engine->ForecastNow(T::Tensor({2, 2})).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamSessionTest, ForecastDoesNotMutateRingWindow) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("dyhsl", task, ZooFactory("DyHSL", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s", SessionOptions()).ok());
+  StreamTicks(&manager, "s", 0, task.history);
+  // The ring view shares storage, so inference in-place fast paths must
+  // leave it untouched: two forecasts from the same window agree bitwise.
+  ForecastResponse first = manager.Forecast("s");
+  ForecastResponse second = manager.Forecast("s");
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(TensorEq(first.forecast, second.forecast));
+}
+
+// ------------------------------------------------- Router scratch pools --
+
+TEST(ScratchPoolTest, ReusesBuffersUpToConcurrencyHighWater) {
+  ScratchPool pool(6);
+  EXPECT_EQ(pool.allocated(), 0);
+  {
+    T::Tensor a = pool.Acquire({2, 3});
+    T::Tensor b = pool.Acquire({6});
+    EXPECT_EQ(pool.allocated(), 2);
+    EXPECT_EQ(pool.available(), 0);
+    a.Fill(1.0f);  // pooled buffers are writable plain tensors
+  }
+  EXPECT_EQ(pool.available(), 2);
+  for (int i = 0; i < 20; ++i) {
+    T::Tensor t = pool.Acquire({6});
+    EXPECT_EQ(pool.allocated(), 2);  // no growth beyond the high-water mark
+  }
+  EXPECT_EQ(pool.available(), 2);
+}
+
+TEST(ScratchPoolTest, ReleaseAfterPoolDestructionIsSafe) {
+  T::Tensor escaped;
+  {
+    ScratchPool pool(4);
+    escaped = pool.Acquire({4});
+    escaped.Fill(2.0f);
+  }
+  // The buffer outlived its pool; dropping it must not crash.
+  EXPECT_EQ(escaped.data()[3], 2.0f);
+  escaped = T::Tensor();
+}
+
+TEST(StreamSessionTest, RouterGatherScratchTracksConcurrencyNotRequests) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  graph::ShardPlan plan = graph::ShardPlan::Build(task.spatial_adj, 2, 1);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(router
+                  ->AddShardedModel("stgcn2", task, plan,
+                                    ZooFactory("STGCN", TinyZoo()))
+                  .ok());
+  T::Tensor window = ds.MakeInput(0);
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    ForecastResponse r =
+        router->Submit(RouterRequest{"stgcn2", window.Clone()}).get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  // Sequential requests keep at most one slice per shard in flight (plus
+  // transient overlap with the engine releasing the previous one), so
+  // the pools must stay near the shard count — not kRequests * shards.
+  EXPECT_GE(router->ScratchAllocated("stgcn2"), plan.num_shards());
+  EXPECT_LE(router->ScratchAllocated("stgcn2"), 2 * plan.num_shards());
+  EXPECT_EQ(router->ScratchAllocated("unknown"), 0);
+}
+
+}  // namespace
+}  // namespace dyhsl::serve
