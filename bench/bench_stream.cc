@@ -26,8 +26,29 @@
 // fast path. DCRNN uses horizon T'=3 (nowcasting), the regime streaming
 // targets; history is the paper's T=12.
 //
+// Fleet phase: many sessions of one model ticking in lock-step — a
+// sensor fleet with one forecast per member per tick. Per (model, B in
+// {64, 256}) the same feed runs twice on a district-sized N=24 subgraph
+// (the cross-session batching regime: fleets of many SMALL per-model
+// sessions, where a B=1 forward is dispatch- and packing-dominated; a
+// single metro-scale session already saturates a core on its own and
+// gains little from batching):
+//
+//  * Sequential: per tick, B x Append then B x Forecast — one engine
+//    forward per session.
+//  * Batched: per tick, one AppendMany (one batched cell step for the
+//    whole warm fleet) then one ForecastBatch (one (B, ...) forward).
+//
+// The metric is session-ticks/s (sessions x ticks / wall), reported
+// overall and split into the ingest (Append) and forecast halves. The
+// batched DCRNN fleet amortizes the per-call overhead of B tiny
+// recurrent forwards into one batched GEMM per tick, which is where
+// cross-session batching pays.
+//
 // --check-floor=R exits non-zero if the warm-session p50 per-forecast
 // latency is not at least R x better than full-window resubmission.
+// --check-batch-floor=R does the same for the batched-vs-sequential
+// fleet throughput ratio at DCRNN B=64.
 //
 // DYHSL_PROFILE=tiny|quick|full scales tick counts only; model and
 // network sizes are fixed so numbers are comparable across profiles.
@@ -60,6 +81,12 @@ constexpr int64_t kHistory = 12;
 constexpr int64_t kHorizon = 3;
 constexpr int64_t kHidden = 16;
 constexpr int64_t kFeatures = 3;
+/// Fleet phase: district-sized subgraph (a corridor of ~two dozen
+/// sensors). Cross-session batching targets fleets of many small
+/// per-model sessions; one metro-scale session saturates a core by
+/// itself, so its fleet ratio is bounded by memory bandwidth instead of
+/// the per-call overheads batching removes.
+constexpr int64_t kFleetNodes = 24;
 
 double MsSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -185,6 +212,109 @@ bool RunSession(serve::SessionManager* manager, const std::string& id,
   return true;
 }
 
+struct FleetResult {
+  int sessions = 0;
+  double sequential_sticks_per_s = 0.0;
+  double batched_sticks_per_s = 0.0;
+  double speedup = 0.0;
+  double ingest_speedup = 0.0;    // B x Append vs one AppendMany
+  double forecast_speedup = 0.0;  // B x Forecast vs one ForecastBatch
+};
+
+// One (model, fleet-size) comparison: a fresh fleet of B lock-step
+// sessions, primed together, then the same tick stream measured first
+// sequentially (B Appends + B Forecasts per tick) and then batched
+// (one AppendMany + one ForecastBatch per tick).
+bool RunFleet(serve::ForecastRouter* router, const std::string& model,
+              bool warm, const train::ForecastTask& task, int sessions,
+              int ticks, uint64_t seed, FleetResult* result) {
+  serve::SessionManager manager(router);
+  serve::SessionOptions options;
+  options.model = model;
+  options.warm_state = warm;
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    ids.push_back("fleet-" + std::to_string(i));
+    if (!manager.Open(ids.back(), options).ok()) return false;
+  }
+
+  Rng rng(seed);
+  T::Tensor raw({task.num_nodes});
+  // The whole fleet reads the same sensors: every member gets the same
+  // frame, which Tensor shares by storage — no per-session copies.
+  std::vector<T::Tensor> frames(static_cast<size_t>(sessions), raw);
+  int64_t tick = 0;
+  auto barrier_ok = [&](const std::vector<Status>& statuses) {
+    for (const Status& s : statuses) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "fleet append error: %s\n", s.ToString().c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+  // Prime: fill every ring, warm every carry, touch both compute paths.
+  for (; tick < kHistory; ++tick) {
+    FillRawFrame(task, &rng, raw.data());
+    if (!barrier_ok(manager.AppendMany(ids, tick, frames))) return false;
+  }
+  for (const serve::ForecastResponse& r : manager.ForecastBatch(ids)) {
+    if (!r.status.ok()) return false;
+  }
+  if (!manager.Forecast(ids[0]).status.ok()) return false;
+
+  result->sessions = sessions;
+  // Sequential: one engine forward per session per tick. Ingest and
+  // forecast halves are timed separately so the report shows where the
+  // batched tick earns its ratio.
+  double seq_ingest_ms = 0.0, seq_forecast_ms = 0.0;
+  for (int t = 0; t < ticks; ++t, ++tick) {
+    FillRawFrame(task, &rng, raw.data());
+    Clock::time_point start = Clock::now();
+    for (const std::string& id : ids) {
+      if (!manager.Append(id, tick, raw).ok()) return false;
+    }
+    seq_ingest_ms += MsSince(start);
+    start = Clock::now();
+    for (const std::string& id : ids) {
+      if (!manager.Forecast(id).status.ok()) return false;
+    }
+    seq_forecast_ms += MsSince(start);
+  }
+  const double seq_ms = seq_ingest_ms + seq_forecast_ms;
+  // Batched: one tick barrier, one batched forward per tick.
+  double bat_ingest_ms = 0.0, bat_forecast_ms = 0.0;
+  for (int t = 0; t < ticks; ++t, ++tick) {
+    FillRawFrame(task, &rng, raw.data());
+    Clock::time_point start = Clock::now();
+    if (!barrier_ok(manager.AppendMany(ids, tick, frames))) return false;
+    bat_ingest_ms += MsSince(start);
+    start = Clock::now();
+    for (const serve::ForecastResponse& r : manager.ForecastBatch(ids)) {
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "fleet forecast error: %s\n",
+                     r.status.ToString().c_str());
+        return false;
+      }
+    }
+    bat_forecast_ms += MsSince(start);
+  }
+  const double bat_ms = bat_ingest_ms + bat_forecast_ms;
+
+  const double session_ticks = static_cast<double>(sessions) * ticks;
+  result->sequential_sticks_per_s =
+      seq_ms > 0.0 ? 1000.0 * session_ticks / seq_ms : 0.0;
+  result->batched_sticks_per_s =
+      bat_ms > 0.0 ? 1000.0 * session_ticks / bat_ms : 0.0;
+  result->speedup = seq_ms > 0.0 && bat_ms > 0.0 ? seq_ms / bat_ms : 0.0;
+  result->ingest_speedup =
+      bat_ingest_ms > 0.0 ? seq_ingest_ms / bat_ingest_ms : 0.0;
+  result->forecast_speedup =
+      bat_forecast_ms > 0.0 ? seq_forecast_ms / bat_forecast_ms : 0.0;
+  return true;
+}
+
 // Streams kHistory warm-up ticks so the session ring is full and every
 // arena / cache is hot before measurement.
 bool PrimeSession(serve::SessionManager* manager, const std::string& id,
@@ -205,9 +335,12 @@ int main(int argc, char** argv) {
   using namespace dyhsl;
   using namespace dyhsl::bench;
   double check_floor = 0.0;
+  double check_batch_floor = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--check-floor=", 14) == 0) {
       check_floor = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--check-batch-floor=", 20) == 0) {
+      check_batch_floor = std::atof(argv[i] + 20);
     }
   }
   ConfigureParallelism();
@@ -215,6 +348,11 @@ int main(int argc, char** argv) {
   const int ticks = profile == RunProfile::kTiny
                         ? 30
                         : (profile == RunProfile::kQuick ? 100 : 300);
+  // Fleet ticks stay small: one sequential 256-session tick costs ~512
+  // engine forwards, and the comparison stabilizes within a few ticks.
+  const int fleet_ticks = profile == RunProfile::kTiny
+                              ? 4
+                              : (profile == RunProfile::kQuick ? 10 : 20);
 
   train::ForecastTask task =
       train::RingForecastTask(kNodes, kHistory, kHorizon);
@@ -289,6 +427,55 @@ int main(int argc, char** argv) {
   print_row("STGCN resubmit", stgcn_resubmit);
   print_row("STGCN windowed session", stgcn_session);
 
+  // ------------------------------------------------------- Fleet phase --
+  train::ForecastTask fleet_task =
+      train::RingForecastTask(kFleetNodes, kHistory, kHorizon);
+  auto fleet_created = serve::ForecastRouter::Create();
+  if (!fleet_created.ok()) return 1;
+  auto fleet_router = std::move(fleet_created).ValueOrDie();
+  if (!fleet_router
+           ->AddModel("dcrnn", fleet_task, serve::ZooFactory("DCRNN", zoo),
+                      "", options)
+           .ok() ||
+      !fleet_router
+           ->AddModel("stgcn", fleet_task, serve::ZooFactory("STGCN", zoo),
+                      "", options)
+           .ok()) {
+    std::fprintf(stderr, "fleet bring-up failed\n");
+    return 1;
+  }
+  std::printf(
+      "--- fleet phase (N=%lld, %d ticks, batched vs sequential) ---\n",
+      static_cast<long long>(kFleetNodes), fleet_ticks);
+  struct FleetRun {
+    const char* key;
+    const char* model;
+    bool warm;
+    int sessions;
+    FleetResult result;
+  };
+  FleetRun fleet_runs[] = {
+      {"fleet_dcrnn_64", "dcrnn", true, 64, {}},
+      {"fleet_dcrnn_256", "dcrnn", true, 256, {}},
+      {"fleet_stgcn_64", "stgcn", false, 64, {}},
+      {"fleet_stgcn_256", "stgcn", false, 256, {}},
+  };
+  uint64_t fleet_seed = 31;
+  for (FleetRun& run : fleet_runs) {
+    if (!RunFleet(fleet_router.get(), run.model, run.warm, fleet_task,
+                  run.sessions, fleet_ticks, fleet_seed++, &run.result)) {
+      std::fprintf(stderr, "fleet run %s failed\n", run.key);
+      return 1;
+    }
+    std::printf("%-22s B=%3d   seq %9.1f st/s   batched %9.1f st/s   "
+                "%5.2fx  (ingest %.2fx, forecast %.2fx)\n",
+                run.key, run.sessions,
+                run.result.sequential_sticks_per_s,
+                run.result.batched_sticks_per_s, run.result.speedup,
+                run.result.ingest_speedup, run.result.forecast_speedup);
+  }
+  const double batch_speedup_64 = fleet_runs[0].result.speedup;
+
   const double warm_speedup = dcrnn_session.p50_ms > 0.0
                                   ? dcrnn_resubmit.p50_ms / dcrnn_session.p50_ms
                                   : 0.0;
@@ -333,9 +520,29 @@ int main(int argc, char** argv) {
   phase_json("stgcn_resubmit", stgcn_resubmit, true);
   phase_json("stgcn_windowed_session", stgcn_session, false);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"fleet\": {\n");
+  std::fprintf(out, "    \"nodes\": %lld,\n",
+               static_cast<long long>(kFleetNodes));
+  std::fprintf(out, "    \"ticks\": %d,\n", fleet_ticks);
+  for (size_t i = 0; i < 4; ++i) {
+    const FleetRun& run = fleet_runs[i];
+    std::fprintf(out,
+                 "    \"%s\": {\"sessions\": %d, "
+                 "\"sequential_session_ticks_per_s\": %.2f, "
+                 "\"batched_session_ticks_per_s\": %.2f, "
+                 "\"speedup\": %.4f, \"ingest_speedup\": %.4f, "
+                 "\"forecast_speedup\": %.4f}%s\n",
+                 run.key, run.result.sessions,
+                 run.result.sequential_sticks_per_s,
+                 run.result.batched_sticks_per_s, run.result.speedup,
+                 run.result.ingest_speedup, run.result.forecast_speedup,
+                 i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"warm_session_speedup\": %.4f,\n", warm_speedup);
-  std::fprintf(out, "  \"windowed_session_speedup\": %.4f\n",
+  std::fprintf(out, "  \"windowed_session_speedup\": %.4f,\n",
                windowed_speedup);
+  std::fprintf(out, "  \"batch_speedup_64\": %.4f\n", batch_speedup_64);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
@@ -345,6 +552,13 @@ int main(int argc, char** argv) {
                  "FLOOR VIOLATION: warm-session speedup %.2fx < required "
                  "%.2fx\n",
                  warm_speedup, check_floor);
+    return 1;
+  }
+  if (check_batch_floor > 0.0 && batch_speedup_64 < check_batch_floor) {
+    std::fprintf(stderr,
+                 "FLOOR VIOLATION: batched fleet speedup %.2fx at B=64 < "
+                 "required %.2fx\n",
+                 batch_speedup_64, check_batch_floor);
     return 1;
   }
   return 0;

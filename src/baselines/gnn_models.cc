@@ -13,6 +13,7 @@
 #include "src/graph/temporal_graph.h"
 #include "src/nn/init.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/vecmath.h"
 #include "src/tensor/workspace.h"
 
 namespace dyhsl::baselines {
@@ -134,6 +135,70 @@ Dcrnn::Dcrnn(const train::ForecastTask& task, int64_t hidden_dim,
 }
 
 Variable Dcrnn::CellStep(const Variable& x_t, const Variable& h) const {
+  if (autograd::InferenceModeEnabled()) {
+    // Grad-free fast path: the gate algebra runs on raw arrays — the
+    // same SigmoidArray/TanhArray kernels and the same per-element
+    // operation order as the taped ops below, minus the Slice / Concat /
+    // Neg temporaries the tape materializes. Every serving-side caller
+    // (Forward under the engine's guard, StreamForecast, the batched
+    // carry) shares this path, so the cross-path equality contracts
+    // (warm vs windowed, B = 1 batch vs sequential) are unaffected.
+    const tensor::Tensor& xv = x_t.value();
+    const tensor::Tensor& hv = h.value();
+    const int64_t b = xv.size(0), n = xv.size(1), f = xv.size(2);
+    const int64_t hd = hidden_dim_;
+    const int64_t rows = b * n;
+    tensor::Tensor xh({b, n, f + hd});  // [x ; h]
+    {
+      float* dst = xh.data();
+      const float* px = xv.data();
+      const float* ph = hv.data();
+      for (int64_t i = 0; i < rows; ++i) {
+        std::memcpy(dst + i * (f + hd), px + i * f,
+                    static_cast<size_t>(f) * sizeof(float));
+        std::memcpy(dst + i * (f + hd) + f, ph + i * hd,
+                    static_cast<size_t>(hd) * sizeof(float));
+      }
+    }
+    tensor::Tensor zr = gate_zr_.Forward(fw_, bw_, Variable(xh)).value();
+    tensor::Tensor zr_act(zr.shape());  // sigmoid(z | r), (B, N, 2H)
+    tensor::SigmoidArray(zr.data(), zr_act.data(), zr_act.numel());
+    tensor::Tensor xrh({b, n, f + hd});  // [x ; r * h]
+    {
+      float* dst = xrh.data();
+      const float* px = xv.data();
+      const float* ph = hv.data();
+      const float* pzr = zr_act.data();
+      for (int64_t i = 0; i < rows; ++i) {
+        std::memcpy(dst + i * (f + hd), px + i * f,
+                    static_cast<size_t>(f) * sizeof(float));
+        float* drh = dst + i * (f + hd) + f;
+        const float* r = pzr + i * 2 * hd + hd;
+        const float* hrow = ph + i * hd;
+        for (int64_t j = 0; j < hd; ++j) drh[j] = r[j] * hrow[j];
+      }
+    }
+    tensor::Tensor c = gate_c_.Forward(fw_, bw_, Variable(xrh)).value();
+    tensor::Tensor c_act(c.shape());  // (B, N, H)
+    tensor::TanhArray(c.data(), c_act.data(), c_act.numel());
+    // h' = z * h + (1 - z) * c, via the same single-op tensor kernels the
+    // taped path runs (Mul / MulScalar / AddScalar / Add) so every
+    // intermediate rounds identically — a hand-fused expression here would
+    // let the compiler contract mul+add into an FMA and change bits.
+    tensor::Tensor z({b, n, hd});
+    {
+      float* pz = z.data();
+      const float* pzr = zr_act.data();
+      for (int64_t i = 0; i < rows; ++i) {
+        std::memcpy(pz + i * hd, pzr + i * 2 * hd,
+                    static_cast<size_t>(hd) * sizeof(float));
+      }
+    }
+    tensor::Tensor one_minus_z =
+        tensor::AddScalar(tensor::MulScalar(z, -1.0f), 1.0f);
+    return Variable(tensor::Add(tensor::Mul(z, hv),
+                                tensor::Mul(one_minus_z, c_act)));
+  }
   // DCGRU: gates via diffusion conv on [x ; h] over the road graph.
   Variable xh = ag::Concat({x_t, h}, 2);  // (B, N, F + H)
   Variable zr = ag::Sigmoid(gate_zr_.Forward(fw_, bw_, xh));
@@ -256,6 +321,78 @@ tensor::Tensor Dcrnn::StreamForecast(const train::StreamState& state) const {
   out = train::Descale(out, task_.scaler_mean, task_.scaler_std);
   T::Tensor forecast = HeapClone(out.value());
   return forecast.Reshape({task_.horizon, n});
+}
+
+void Dcrnn::AdvanceStateBatch(const std::vector<train::StreamState*>& states,
+                              const tensor::Tensor& frames) const {
+  const int64_t b = static_cast<int64_t>(states.size());
+  if (b == 0) return;
+  const int64_t n = task_.num_nodes;
+  const int64_t f = task_.input_dim;
+  DYHSL_CHECK(frames.shape() == (tensor::Shape{b, n, f}));
+  autograd::InferenceModeGuard no_grad;
+  // Stack the carried hidden states into (B, N, H) and advance all B
+  // sessions with one batched DCGRU step. CellStep runs each batch item
+  // through the same row-wise accumulation order as at B = 1, so the
+  // unstacked states are bit-identical to B sequential StreamSteps.
+  const int64_t state_numel = n * hidden_dim_;
+  T::Tensor h({b, n, hidden_dim_});
+  for (int64_t i = 0; i < b; ++i) {
+    const auto* s = static_cast<const DcrnnStreamState*>(states[i]);
+    std::memcpy(h.data() + i * state_numel, s->h.value().data(),
+                static_cast<size_t>(state_numel) * sizeof(float));
+  }
+  Variable h_new = CellStep(Variable(frames), Variable(h));
+  const T::Tensor& hv = h_new.value();  // (B, N, H)
+  T::WorkspaceBypass bypass;  // carried state must survive arena resets
+  for (int64_t i = 0; i < b; ++i) {
+    auto* s = static_cast<DcrnnStreamState*>(states[i]);
+    T::Tensor hi({1, n, hidden_dim_});
+    std::memcpy(hi.data(), hv.data() + i * state_numel,
+                static_cast<size_t>(state_numel) * sizeof(float));
+    s->h = Variable(std::move(hi));
+    T::Tensor prev({1, n, 1});
+    const float* frame = frames.data() + i * n * f;
+    for (int64_t j = 0; j < n; ++j) prev.data()[j] = frame[j * f];
+    s->prev = Variable(std::move(prev));
+    s->ticks += 1;
+  }
+}
+
+tensor::Tensor Dcrnn::ForecastFromStateBatch(
+    const std::vector<const train::StreamState*>& states) const {
+  const int64_t b = static_cast<int64_t>(states.size());
+  DYHSL_CHECK_GT(b, 0);
+  const int64_t n = task_.num_nodes;
+  autograd::InferenceModeGuard no_grad;
+  // Forward's decoder over the stacked (B, N, H) states: one batched
+  // rollout instead of B sequential ones. Reads private copies, mutates
+  // no session state.
+  const int64_t state_numel = n * hidden_dim_;
+  T::Tensor h0({b, n, hidden_dim_});
+  T::Tensor prev0({b, n, 1});
+  for (int64_t i = 0; i < b; ++i) {
+    const auto* s = static_cast<const DcrnnStreamState*>(states[i]);
+    DYHSL_CHECK(s->prev.value().defined());
+    std::memcpy(h0.data() + i * state_numel, s->h.value().data(),
+                static_cast<size_t>(state_numel) * sizeof(float));
+    std::memcpy(prev0.data() + i * n, s->prev.value().data(),
+                static_cast<size_t>(n) * sizeof(float));
+  }
+  Variable h(std::move(h0));
+  Variable prev(std::move(prev0));
+  Variable pad(tensor::Tensor::Zeros({b, n, task_.input_dim - 1}));
+  std::vector<Variable> steps;
+  for (int64_t t = 0; t < task_.horizon; ++t) {
+    Variable x_t = ag::Concat({prev, pad}, 2);
+    h = CellStep(x_t, h);
+    prev = readout_.Forward(h);
+    steps.push_back(prev);
+  }
+  Variable out = ag::Concat(steps, 2);  // (B, N, T')
+  out = ag::TransposePerm(out, {0, 2, 1});
+  out = train::Descale(out, task_.scaler_mean, task_.scaler_std);
+  return out.value();  // (B, T', N); caller copies out before any reset
 }
 
 // --------------------------------------------------------- GraphWaveNet --

@@ -94,6 +94,15 @@ class Dcrnn : public GnnModelBase, public train::RecurrentStreamModel {
   void ResyncState(train::StreamState* state,
                    const tensor::Tensor& window) const override;
   tensor::Tensor StreamForecast(const train::StreamState& state) const override;
+  /// Batched carry: stacks B per-session hidden states into (B, N, H)
+  /// and runs one batched cell step (one decoder rollout) instead of B
+  /// sequential ones. CellStep processes each batch item with the same
+  /// accumulation order as at B = 1, so per-session results match the
+  /// sequential methods bit-identically.
+  void AdvanceStateBatch(const std::vector<train::StreamState*>& states,
+                         const tensor::Tensor& frames) const override;
+  tensor::Tensor ForecastFromStateBatch(
+      const std::vector<const train::StreamState*>& states) const override;
   /// @}
 
  private:

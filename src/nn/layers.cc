@@ -1,10 +1,14 @@
 #include "src/nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
+#include "src/autograd/inference.h"
 #include "src/core/check.h"
 #include "src/nn/init.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/sparse.h"
 
 namespace dyhsl::nn {
 
@@ -161,6 +165,45 @@ DiffusionConv::DiffusionConv(int64_t in_dim, int64_t out_dim, int64_t steps,
 Variable DiffusionConv::Forward(const autograd::SparseConstant& fw,
                                 const autograd::SparseConstant& bw,
                                 const Variable& x) const {
+  if (ag::InferenceModeEnabled()) {
+    // Grad-free fast path: accumulate every diffusion term into ONE
+    // output buffer (bias init + beta = 1 GEMMs) instead of
+    // materializing 2 * steps + 1 projection outputs and folding them
+    // with as many Adds. At serving batch sizes the taped chain is
+    // memory-bound on those extra output passes. Bit-identical to the
+    // chain: each projection's K fits a single GEMM panel, so the
+    // beta = 1 store is the same elementwise add the chain performs
+    // (the Affine argument, src/autograd/ops.cc).
+    const tensor::Tensor& xv = x.value();
+    const int64_t in_dim = xv.size(-1);
+    const int64_t out_dim = fw_proj_[0]->out_features();
+    tensor::Shape out_shape = xv.shape();
+    out_shape.back() = out_dim;
+    tensor::Tensor x2 = xv.dim() == 2 ? xv : xv.Reshape({-1, in_dim});
+    const int64_t m = x2.size(0);
+    tensor::Tensor y({m, out_dim});
+    const float* pb = fw_proj_[0]->bias().value().data();
+    float* py = y.data();
+    for (int64_t i = 0; i < m; ++i) {
+      std::memcpy(py + i * out_dim, pb,
+                  static_cast<size_t>(out_dim) * sizeof(float));
+    }
+    tensor::MatMulInto(x2, fw_proj_[0]->weight().value(), false, false,
+                       /*beta=*/1.0f, &y);
+    tensor::Tensor xf = xv;
+    tensor::Tensor xb = xv;
+    for (int64_t k = 1; k <= steps_; ++k) {
+      xf = tensor::SpMM(fw.matrix(), xf);
+      tensor::MatMulInto(xf.dim() == 2 ? xf : xf.Reshape({-1, in_dim}),
+                         fw_proj_[k]->weight().value(), false, false,
+                         /*beta=*/1.0f, &y);
+      xb = tensor::SpMM(bw.matrix(), xb);
+      tensor::MatMulInto(xb.dim() == 2 ? xb : xb.Reshape({-1, in_dim}),
+                         bw_proj_[k - 1]->weight().value(), false, false,
+                         /*beta=*/1.0f, &y);
+    }
+    return Variable(y.Reshape(std::move(out_shape)));
+  }
   Variable out = fw_proj_[0]->Forward(x);  // k = 0 term (identity)
   Variable xf = x;
   Variable xb = x;

@@ -27,6 +27,10 @@ class Linear : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
+  const Variable& weight() const { return weight_; }  // (in, out)
+  /// Undefined when constructed with bias = false.
+  const Variable& bias() const { return bias_; }
+
  private:
   int64_t in_features_;
   int64_t out_features_;

@@ -10,6 +10,7 @@
 #include "src/core/check.h"
 #include "src/core/logging.h"
 #include "src/core/parallel.h"
+#include "src/tensor/ops.h"
 #include "src/tensor/workspace.h"
 
 namespace dyhsl::serve {
@@ -276,6 +277,62 @@ ForecastResponse ForecastEngine::ForecastNow(const tensor::Tensor& window) {
   return response;
 }
 
+BatchForecastResponse ForecastEngine::SubmitBatch(
+    const tensor::Tensor& windows) {
+  BatchForecastResponse response;
+  if (!windows.defined() || windows.dim() != 4 || windows.size(0) < 1 ||
+      windows.size(1) != task_.history || windows.size(2) != task_.num_nodes ||
+      windows.size(3) != task_.input_dim) {
+    response.status = Status::InvalidArgument(
+        "batch windows shape " +
+        (windows.defined() ? tensor::ShapeToString(windows.shape())
+                           : std::string("<undefined>")) +
+        " != expected (B, " + std::to_string(task_.history) + ", " +
+        std::to_string(task_.num_nodes) + ", " +
+        std::to_string(task_.input_dim) + ")");
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      response.status = Status::InvalidArgument("ForecastEngine is shut down");
+      return response;
+    }
+  }
+  const int64_t b = windows.size(0);
+  const Clock::time_point started = Clock::now();
+  core::TeamScope team(worker_team_);
+  autograd::InferenceModeGuard no_grad;
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    // The batch is already packed (possibly sharing ring storage at
+    // B = 1) — one forward, no queue, no per-request repacking.
+    autograd::Variable pred = model_->Forward(windows, /*training=*/false);
+    const tensor::Tensor& p = pred.value();  // (B, T', N)
+    DYHSL_CHECK_EQ(p.size(0), b);
+    {
+      tensor::WorkspaceBypass bypass;
+      response.forecasts = tensor::Tensor(p.shape());
+    }
+    std::memcpy(response.forecasts.data(), p.data(),
+                static_cast<size_t>(p.numel()) * sizeof(float));
+  }
+  workspace.Reset();
+  response.batch_size = b;
+  response.compute_micros = MicrosSince(started, Clock::now());
+  SamplePatternStats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += b;
+    stats_.streamed += b;
+    stats_.batched_submits += 1;
+    stats_.batched_requests += b;
+    stats_.batched_max = std::max(stats_.batched_max, b);
+  }
+  return response;
+}
+
 std::unique_ptr<train::StreamState> ForecastEngine::NewStreamState() const {
   DYHSL_CHECK(streaming_ != nullptr);
   return streaming_->MakeStreamState();
@@ -331,6 +388,66 @@ ForecastResponse ForecastEngine::ForecastFromState(
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += 1;
     stats_.streamed += 1;
+  }
+  return response;
+}
+
+void ForecastEngine::AdvanceStateBatch(
+    const std::vector<train::StreamState*>& states,
+    const tensor::Tensor& frames) {
+  DYHSL_CHECK(streaming_ != nullptr);
+  if (states.empty()) return;
+  core::TeamScope team(worker_team_);
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    streaming_->AdvanceStateBatch(states, frames);
+  }
+  workspace.Reset();
+}
+
+BatchForecastResponse ForecastEngine::ForecastFromStateBatch(
+    const std::vector<const train::StreamState*>& states) {
+  DYHSL_CHECK(streaming_ != nullptr);
+  BatchForecastResponse response;
+  if (states.empty()) {
+    response.status = Status::InvalidArgument("empty stream-state batch");
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      response.status = Status::InvalidArgument("ForecastEngine is shut down");
+      return response;
+    }
+  }
+  const int64_t b = static_cast<int64_t>(states.size());
+  const Clock::time_point started = Clock::now();
+  core::TeamScope team(worker_team_);
+  thread_local tensor::Workspace workspace;
+  {
+    tensor::WorkspaceScope scope(&workspace);
+    // One stacked decoder rollout; the model's result lives in the
+    // arena, so copy it into the heap-backed response before the reset.
+    tensor::Tensor stacked = streaming_->ForecastFromStateBatch(states);
+    DYHSL_CHECK_EQ(stacked.size(0), b);
+    {
+      tensor::WorkspaceBypass bypass;
+      response.forecasts = tensor::Tensor(stacked.shape());
+    }
+    std::memcpy(response.forecasts.data(), stacked.data(),
+                static_cast<size_t>(stacked.numel()) * sizeof(float));
+  }
+  workspace.Reset();
+  response.batch_size = b;
+  response.compute_micros = MicrosSince(started, Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += b;
+    stats_.streamed += b;
+    stats_.batched_submits += 1;
+    stats_.batched_requests += b;
+    stats_.batched_max = std::max(stats_.batched_max, b);
   }
   return response;
 }
@@ -443,20 +560,18 @@ void ForecastEngine::WorkerLoop() {
 
 void ForecastEngine::ServeBatch(std::vector<Pending>* batch) {
   const int64_t b = static_cast<int64_t>(batch->size());
-  const int64_t t = task_.history;
-  const int64_t n = task_.num_nodes;
-  const int64_t f = task_.input_dim;
   const Clock::time_point started = Clock::now();
 
   autograd::InferenceModeGuard no_grad;
-  // Pack the windows into one (B, T, N, F) forward. The pack buffer is
-  // arena-backed and recycled by the worker's Reset().
-  tensor::Tensor x({b, t, n, f});
-  const int64_t window_numel = t * n * f;
-  for (int64_t i = 0; i < b; ++i) {
-    std::memcpy(x.data() + i * window_numel, (*batch)[i].window.data(),
-                static_cast<size_t>(window_numel) * sizeof(float));
-  }
+  // Pack the windows into one (B, T, N, F) forward. A B = 1 flush (the
+  // common case for a single-stream client) passes the request's own
+  // contiguous window straight through — PackBatch reshapes it in place,
+  // no batch tensor, no memcpy. Larger flushes pack into an arena-backed
+  // buffer recycled by the worker's Reset().
+  std::vector<tensor::Tensor> windows;
+  windows.reserve(static_cast<size_t>(b));
+  for (const Pending& pending : *batch) windows.push_back(pending.window);
+  tensor::Tensor x = tensor::PackBatch(windows);
   autograd::Variable pred = model_->Forward(x, /*training=*/false);
   const tensor::Tensor& p = pred.value();  // (B, T', N)
   DYHSL_CHECK_EQ(p.size(0), b);

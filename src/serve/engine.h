@@ -96,6 +96,18 @@ struct ForecastResponse {
   double compute_micros = 0.0;
 };
 
+/// \brief Response of the pre-packed batch fast paths (SubmitBatch /
+/// ForecastFromStateBatch): one status and one stacked forecast tensor
+/// for the whole batch. On failure `forecasts` is undefined.
+struct BatchForecastResponse {
+  Status status;
+  /// Raw-flow forecasts (B, T', N), heap-backed.
+  tensor::Tensor forecasts;
+  int64_t batch_size = 0;
+  /// Wall time of the one batched forward that served the batch.
+  double compute_micros = 0.0;
+};
+
 /// \brief Micro-batching and threading knobs.
 struct EngineOptions {
   /// Flush the queue once this many requests are waiting.
@@ -148,6 +160,12 @@ struct EngineStats {
   /// Requests served through the synchronous streaming fast paths
   /// (ForecastNow / ForecastFromState), counted in `requests` too.
   int64_t streamed = 0;
+  /// Pre-packed batch fast-path calls (SubmitBatch and the batched warm
+  /// forecasts), the requests they carried (counted in `requests` and
+  /// `streamed` too), and the largest such batch observed.
+  int64_t batched_submits = 0;
+  int64_t batched_requests = 0;
+  int64_t batched_max = 0;
   /// Structure-reuse efficacy, summed over every thread that served
   /// through this engine: the DyHSL TopKPatternCache counters when the
   /// model is a pattern-reuse DyHSL, the DHGNN structure-cache counters
@@ -197,6 +215,17 @@ class ForecastEngine {
   /// Thread-safe and usable concurrently with Submit.
   ForecastResponse ForecastNow(const tensor::Tensor& window);
 
+  /// \brief Synchronous pre-packed batch fast path: one grad-free
+  /// forward over `windows` (B, T, N, F) on the calling thread,
+  /// bypassing the micro-batch queue entirely — the batch is already
+  /// packed, so there is nothing for the queue to amortize. `windows` is
+  /// only read (it may be a zero-copy pack of live ring views). Each
+  /// batch item's forecast is bit-identical to ForecastNow over the same
+  /// window: the batched kernels process every item with the same
+  /// accumulation order as at B = 1. Thread-safe, usable concurrently
+  /// with Submit/ForecastNow.
+  BatchForecastResponse SubmitBatch(const tensor::Tensor& windows);
+
   /// \name Warm recurrent-state serving
   ///
   /// Available when the model implements train::RecurrentStreamModel
@@ -210,6 +239,14 @@ class ForecastEngine {
   void AdvanceState(train::StreamState* state, const tensor::Tensor& frame);
   void ResyncState(train::StreamState* state, const tensor::Tensor& window);
   ForecastResponse ForecastFromState(const train::StreamState& state);
+  /// Batched warm carry: one stacked cell step / decoder rollout for B
+  /// sessions ready at the same tick (train::RecurrentStreamModel's
+  /// batched methods, run under the engine team with a warm arena).
+  /// `frames` is the (B, N, F) stack pairing frames[i] with states[i].
+  void AdvanceStateBatch(const std::vector<train::StreamState*>& states,
+                         const tensor::Tensor& frames);
+  BatchForecastResponse ForecastFromStateBatch(
+      const std::vector<const train::StreamState*>& states);
   /// @}
 
   /// \brief Stops accepting new requests, serves everything already

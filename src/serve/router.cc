@@ -495,6 +495,10 @@ RouterStats ForecastRouter::Stats() const {
           stats.total.effective_max_batch, e.stats.effective_max_batch);
       stats.total.queue_depth += e.stats.queue_depth;
       stats.total.streamed += e.stats.streamed;
+      stats.total.batched_submits += e.stats.batched_submits;
+      stats.total.batched_requests += e.stats.batched_requests;
+      stats.total.batched_max =
+          std::max(stats.total.batched_max, e.stats.batched_max);
       stats.total.pattern.selects += e.stats.pattern.selects;
       stats.total.pattern.reuses += e.stats.pattern.reuses;
       stats.total.pattern.drift_reselects += e.stats.pattern.drift_reselects;

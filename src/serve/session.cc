@@ -1,11 +1,13 @@
 #include "src/serve/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "src/core/check.h"
+#include "src/tensor/ops.h"
 #include "src/train/forecast_model.h"
 
 namespace dyhsl::serve {
@@ -208,6 +210,30 @@ Status SessionManager::Append(const std::string& session_id, int64_t tick,
     return Status::NotFound("no open session '" + session_id + "'");
   }
   std::lock_guard<std::mutex> lock(s->mu);
+  Status ingested = IngestFrameLocked(s.get(), tick, raw_flow);
+  if (!ingested.ok()) return ingested;
+
+  if (s->options.warm_state) {
+    // One encoder cell step per tick — the whole point of the warm path:
+    // Forecast later runs only the decoder. A tick whose resync cadence
+    // fires skips the step: the ring rebuild overwrites the carried
+    // state completely, so advance-then-resync and resync-alone land on
+    // the same state (and AppendMany masks resync members the same way).
+    const StreamRoute& route = s->route;
+    if (!MaybeResyncLocked(s.get())) {
+      for (size_t k = 0; k < route.engines.size(); ++k) {
+        const tensor::Tensor& frame =
+            route.sharded ? s->shard_frames[k] : s->staging;
+        route.engines[k]->AdvanceState(s->states[k].get(), frame);
+      }
+      s->since_resync += 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status SessionManager::IngestFrameLocked(Session* s, int64_t tick,
+                                         const tensor::Tensor& raw_flow) {
   const StreamRoute& route = s->route;
   const tensor::Shape expected = {route.num_nodes};
   if (!raw_flow.defined() || raw_flow.shape() != expected) {
@@ -261,26 +287,6 @@ Status SessionManager::Append(const std::string& session_id, int64_t tick,
     }
   }
 
-  if (s->options.warm_state) {
-    // One encoder cell step per tick — the whole point of the warm path:
-    // Forecast later runs only the decoder.
-    for (size_t k = 0; k < route.engines.size(); ++k) {
-      const tensor::Tensor& frame =
-          route.sharded ? s->shard_frames[k] : s->staging;
-      route.engines[k]->AdvanceState(s->states[k].get(), frame);
-    }
-    s->since_resync += 1;
-    if (s->options.resync_every > 0 && s->rings[0].full() &&
-        s->since_resync >= s->options.resync_every) {
-      for (size_t k = 0; k < route.engines.size(); ++k) {
-        route.engines[k]->ResyncState(s->states[k].get(),
-                                      s->rings[k].Window());
-      }
-      s->since_resync = 0;
-      s->resyncs += 1;
-    }
-  }
-
   // Rolling masked raw-flow moments (drift monitor; serving keeps the
   // training scaler).
   double sum = 0.0;
@@ -312,6 +318,101 @@ Status SessionManager::Append(const std::string& session_id, int64_t tick,
   s->ticks += 1;
   ticks_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+bool SessionManager::MaybeResyncLocked(Session* s) {
+  if (s->options.resync_every <= 0 || !s->rings[0].full() ||
+      s->since_resync + 1 < s->options.resync_every) {
+    return false;
+  }
+  const StreamRoute& route = s->route;
+  for (size_t k = 0; k < route.engines.size(); ++k) {
+    route.engines[k]->ResyncState(s->states[k].get(), s->rings[k].Window());
+  }
+  s->since_resync = 0;
+  s->resyncs += 1;
+  return true;
+}
+
+std::vector<Status> SessionManager::AppendMany(
+    const std::vector<std::string>& session_ids, int64_t tick,
+    const std::vector<tensor::Tensor>& raw_flows) {
+  std::vector<Status> statuses(session_ids.size(), Status::OK());
+  if (session_ids.size() != raw_flows.size()) {
+    const Status bad = Status::InvalidArgument(
+        "AppendMany got " + std::to_string(session_ids.size()) +
+        " session ids but " + std::to_string(raw_flows.size()) + " frames");
+    std::fill(statuses.begin(), statuses.end(), bad);
+    return statuses;
+  }
+  const size_t n = session_ids.size();
+  std::vector<std::shared_ptr<Session>> pinned(n);
+  // std::map keys double as the distinct-session set in address order —
+  // the lock order every multi-session path uses, so overlapping
+  // AppendMany / ForecastBatch calls can never deadlock.
+  std::map<Session*, size_t> distinct;
+  for (size_t i = 0; i < n; ++i) {
+    pinned[i] = Find(session_ids[i]);
+    if (pinned[i] == nullptr) {
+      statuses[i] =
+          Status::NotFound("no open session '" + session_ids[i] + "'");
+      continue;
+    }
+    if (!distinct.emplace(pinned[i].get(), i).second) {
+      statuses[i] = Status::InvalidArgument(
+          "duplicate session '" + session_ids[i] +
+          "' in one AppendMany call: a session cannot ingest tick " +
+          std::to_string(tick) + " twice");
+      pinned[i] = nullptr;
+    }
+  }
+  for (auto& entry : distinct) entry.first->mu.lock();
+
+  // Phase 1: per-session ingest with per-session error isolation.
+  for (size_t i = 0; i < n; ++i) {
+    if (pinned[i] == nullptr || !statuses[i].ok()) continue;
+    statuses[i] = IngestFrameLocked(pinned[i].get(), tick, raw_flows[i]);
+  }
+
+  // Phase 2: warm carry. Members whose resync cadence fires this tick
+  // rebuild from the ring and are masked out; the rest of each model's
+  // sessions advance in ONE batched cell step per engine.
+  std::map<std::string, std::vector<Session*>> warm_groups;
+  for (size_t i = 0; i < n; ++i) {
+    if (pinned[i] == nullptr || !statuses[i].ok()) continue;
+    Session* s = pinned[i].get();
+    if (!s->options.warm_state) continue;
+    if (MaybeResyncLocked(s)) continue;
+    warm_groups[s->route.model].push_back(s);
+  }
+  if (!warm_groups.empty()) {
+    // Pack scratch lives in a thread-local arena whose slabs recycle at
+    // the batch high-water mark across ticks.
+    thread_local tensor::Workspace pack_arena;
+    tensor::WorkspaceScope scope(&pack_arena);
+    for (auto& group : warm_groups) {
+      std::vector<Session*>& members = group.second;
+      const StreamRoute& route = members[0]->route;
+      std::vector<train::StreamState*> states(members.size());
+      std::vector<tensor::Tensor> frames(members.size());
+      for (size_t k = 0; k < route.engines.size(); ++k) {
+        for (size_t m = 0; m < members.size(); ++m) {
+          states[m] = members[m]->states[k].get();
+          frames[m] =
+              route.sharded ? members[m]->shard_frames[k] : members[m]->staging;
+        }
+        route.engines[k]->AdvanceStateBatch(states, tensor::PackBatch(frames));
+      }
+      for (Session* s : members) s->since_resync += 1;
+      frames.clear();
+      pack_arena.Reset();
+    }
+  }
+
+  for (auto it = distinct.rbegin(); it != distinct.rend(); ++it) {
+    it->first->mu.unlock();
+  }
+  return statuses;
 }
 
 ForecastResponse SessionManager::Forecast(const std::string& session_id) {
@@ -373,6 +474,196 @@ ForecastResponse SessionManager::Forecast(const std::string& session_id) {
     forecasts_.fetch_add(1, std::memory_order_relaxed);
   }
   return out;
+}
+
+std::vector<ForecastResponse> SessionManager::ForecastBatch(
+    const std::vector<std::string>& session_ids) {
+  std::vector<std::shared_ptr<Session>> pinned(session_ids.size());
+  for (size_t i = 0; i < session_ids.size(); ++i) {
+    pinned[i] = Find(session_ids[i]);
+  }
+  return ForecastPinned(session_ids, pinned);
+}
+
+std::vector<std::pair<std::string, ForecastResponse>>
+SessionManager::ForecastAll() {
+  std::vector<std::string> ids;
+  std::vector<std::shared_ptr<Session>> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(sessions_.size());
+    pinned.reserve(sessions_.size());
+    for (const auto& entry : sessions_) {
+      ids.push_back(entry.first);
+      pinned.push_back(entry.second);
+    }
+  }
+  // A fleet forecast is a use: stamp recency like Find() so the tick
+  // scheduler keeps its own sessions alive.
+  for (const std::shared_ptr<Session>& s : pinned) {
+    s->last_used.store(use_seq_.fetch_add(1) + 1, std::memory_order_relaxed);
+    s->last_touch_ns.store(NowNs(), std::memory_order_relaxed);
+  }
+  std::vector<ForecastResponse> responses = ForecastPinned(ids, pinned);
+  std::vector<std::pair<std::string, ForecastResponse>> out;
+  out.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out.emplace_back(std::move(ids[i]), std::move(responses[i]));
+  }
+  return out;
+}
+
+std::vector<ForecastResponse> SessionManager::ForecastPinned(
+    const std::vector<std::string>& session_ids,
+    const std::vector<std::shared_ptr<Session>>& pinned) {
+  const size_t n = session_ids.size();
+  std::vector<ForecastResponse> out(n);
+  std::vector<bool> active(n, false);
+  std::map<Session*, size_t> distinct;  // address order = lock order
+  for (size_t i = 0; i < n; ++i) {
+    if (pinned[i] == nullptr) {
+      out[i].status =
+          Status::NotFound("no open session '" + session_ids[i] + "'");
+      continue;
+    }
+    if (!distinct.emplace(pinned[i].get(), i).second) {
+      out[i].status = Status::InvalidArgument(
+          "duplicate session '" + session_ids[i] + "' in one batched forecast");
+      continue;
+    }
+    active[i] = true;
+  }
+  // Hold every distinct session's mutex across the batched compute so
+  // each response is a consistent snapshot of that session's window —
+  // the same serialization a per-session Forecast gives.
+  for (auto& entry : distinct) entry.first->mu.lock();
+
+  // Group the ready sessions per (model, warm-path). Warm and windowed
+  // sessions of one model take different engine entry points, so they
+  // batch separately.
+  std::map<std::pair<std::string, bool>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    Session* s = pinned[i].get();
+    if (!s->rings[0].full()) {
+      out[i].status = Status::Unavailable(
+          "session has " + std::to_string(s->rings[0].count()) + " of " +
+          std::to_string(s->route.history) + " ticks buffered");
+      active[i] = false;
+      continue;
+    }
+    groups[{s->route.model, s->options.warm_state}].push_back(i);
+  }
+
+  {
+    // Window packing scratch: thread-local arena, slabs recycled at the
+    // batch high-water mark across ticks.
+    thread_local tensor::Workspace pack_arena;
+    tensor::WorkspaceScope scope(&pack_arena);
+    for (auto& group : groups) {
+      const bool warm = group.first.second;
+      const std::vector<size_t>& idxs = group.second;
+      const StreamRoute& route = pinned[idxs[0]]->route;
+      const int64_t b = static_cast<int64_t>(idxs.size());
+
+      // One grad-free batched forward per shard engine.
+      Status group_status = Status::OK();
+      std::vector<BatchForecastResponse> per_shard(route.engines.size());
+      for (size_t k = 0; k < route.engines.size() && group_status.ok(); ++k) {
+        if (warm) {
+          std::vector<const train::StreamState*> states;
+          states.reserve(idxs.size());
+          for (size_t i : idxs) states.push_back(pinned[i]->states[k].get());
+          per_shard[k] = route.engines[k]->ForecastFromStateBatch(states);
+        } else {
+          // Ring windows gather zero-copy: Window() is a live view of
+          // ring storage and a one-member group passes that view through
+          // PackBatch without a copy.
+          std::vector<tensor::Tensor> windows;
+          windows.reserve(idxs.size());
+          for (size_t i : idxs) windows.push_back(pinned[i]->rings[k].Window());
+          per_shard[k] =
+              route.engines[k]->SubmitBatch(tensor::PackBatch(windows));
+        }
+        if (!per_shard[k].status.ok()) group_status = per_shard[k].status;
+      }
+      if (!group_status.ok()) {
+        // Engine failure fails this group only; other groups still serve.
+        for (size_t i : idxs) {
+          out[i] = ForecastResponse{};
+          out[i].status = group_status;
+        }
+        continue;
+      }
+      double micros = 0.0;
+      for (const BatchForecastResponse& r : per_shard) {
+        micros += r.compute_micros;
+      }
+
+      // Scatter the (B, T', L) shard outputs back into per-session heap
+      // responses, dropping halos exactly like the sequential path.
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        const size_t i = idxs[j];
+        ForecastResponse& r = out[i];
+        {
+          tensor::WorkspaceBypass bypass;
+          r.forecast = tensor::Tensor({route.horizon, route.num_nodes});
+        }
+        r.batch_size = b;
+        r.compute_micros = micros;
+        if (!route.sharded) {
+          const tensor::Tensor& fc = per_shard[0].forecasts;  // (B, T', N)
+          DYHSL_CHECK_EQ(fc.size(1), route.horizon);
+          DYHSL_CHECK_EQ(fc.size(2), route.num_nodes);
+          std::memcpy(
+              r.forecast.data(),
+              fc.data() + static_cast<int64_t>(j) * route.horizon *
+                              route.num_nodes,
+              static_cast<size_t>(route.horizon * route.num_nodes) *
+                  sizeof(float));
+        } else {
+          for (size_t k = 0; k < route.engines.size(); ++k) {
+            const graph::ShardSpec& shard = (*route.shards)[k];
+            const tensor::Tensor& fc = per_shard[k].forecasts;  // (B, T', L)
+            const int64_t local = shard.num_local();
+            DYHSL_CHECK_EQ(fc.size(1), route.horizon);
+            DYHSL_CHECK_EQ(fc.size(2), local);
+            const int64_t owned = shard.owned_count();
+            for (int64_t t = 0; t < route.horizon; ++t) {
+              std::memcpy(
+                  r.forecast.data() + t * route.num_nodes + shard.begin,
+                  fc.data() +
+                      (static_cast<int64_t>(j) * route.horizon + t) * local +
+                      shard.owned_offset,
+                  static_cast<size_t>(owned) * sizeof(float));
+            }
+          }
+        }
+        pinned[i]->forecasts += 1;
+        forecasts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      RecordBatch(route.model, b);
+      pack_arena.Reset();
+    }
+  }
+
+  for (auto it = distinct.rbegin(); it != distinct.rend(); ++it) {
+    it->first->mu.unlock();
+  }
+  return out;
+}
+
+void SessionManager::RecordBatch(const std::string& model,
+                                 int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  batch_stats_.batched_forecasts += 1;
+  batch_stats_.batch_size_sum += batch_size;
+  batch_stats_.batch_size_max =
+      std::max(batch_stats_.batch_size_max, batch_size);
+  SessionBatchStats& per_model = batch_by_model_[model];
+  per_model.batched_forecasts += 1;
+  per_model.batch_size_sum += batch_size;
+  per_model.batch_size_max = std::max(per_model.batch_size_max, batch_size);
 }
 
 Status SessionManager::Close(const std::string& session_id) {
@@ -449,6 +740,11 @@ SessionManagerStats SessionManager::Stats() const {
   stats.ticks = ticks_.load(std::memory_order_relaxed);
   stats.forecasts = forecasts_.load(std::memory_order_relaxed);
   stats.rejected_ticks = rejected_ticks_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    stats.batch = batch_stats_;
+    stats.batch_by_model = batch_by_model_;
+  }
   return stats;
 }
 

@@ -65,6 +65,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/status.h"
@@ -130,6 +131,18 @@ struct SessionStats {
   float drift_score = 0.0f;
 };
 
+/// \brief Batch-scheduler occupancy counters: how efficiently the
+/// cross-session path is packing. One "batched forecast" is one group
+/// forward — all sessions of one (model, warm-path) group served by a
+/// single ForecastBatch/ForecastAll call — so the mean occupancy is
+/// batch_size_sum / batched_forecasts.
+struct SessionBatchStats {
+  int64_t batched_forecasts = 0;
+  /// Sessions served across those group forwards.
+  int64_t batch_size_sum = 0;
+  int64_t batch_size_max = 0;
+};
+
 /// \brief Manager-level counters (monotonic except `open`).
 struct SessionManagerStats {
   int64_t open = 0;
@@ -141,6 +154,11 @@ struct SessionManagerStats {
   int64_t ticks = 0;
   int64_t forecasts = 0;
   int64_t rejected_ticks = 0;
+  /// Cross-session batch occupancy, fleet-wide and per model. The
+  /// engine-side view (EngineStats::batched_*) additionally surfaces
+  /// through RouterStats totals.
+  SessionBatchStats batch;
+  std::map<std::string, SessionBatchStats> batch_by_model;
 };
 
 /// \brief Hosts streaming sessions over a ForecastRouter's fleet.
@@ -170,10 +188,43 @@ class SessionManager {
   Status Append(const std::string& session_id, int64_t tick,
                 const tensor::Tensor& raw_flow);
 
+  /// \brief Tick-barrier ingest: appends raw_flows[i] to session
+  /// session_ids[i], all at the same absolute tick. Per-session
+  /// validation and error isolation match Append (statuses align with
+  /// session_ids; one bad session fails only itself), but warm sessions
+  /// of the same model advance their carried state in ONE batched cell
+  /// step per engine instead of one step per session. A session whose
+  /// resync cadence fires this tick is masked out of the warm batch and
+  /// rebuilt from its ring instead (the rebuild overwrites the carried
+  /// state completely, so the result equals advance-then-resync).
+  /// Duplicate ids within one call are rejected with kInvalidArgument —
+  /// a session cannot ingest the same tick twice.
+  std::vector<Status> AppendMany(const std::vector<std::string>& session_ids,
+                                 int64_t tick,
+                                 const std::vector<tensor::Tensor>& raw_flows);
+
   /// \brief Serves a forecast from the session's current window. Fails
   /// with kUnavailable until `history` ticks have been appended. The
   /// response's forecast is heap-backed, valid after the session dies.
   ForecastResponse Forecast(const std::string& session_id);
+
+  /// \brief Cross-session batched forecasting: groups the ready sessions
+  /// per (model, warm-path), packs each group's ring windows into one
+  /// (B, T, L, F) tensor per shard engine (B = 1 passes the ring view
+  /// through zero-copy), runs ONE grad-free batched forward per
+  /// (group, shard), and scatters the (T', N) responses back per session.
+  /// Responses align with session_ids and are heap-backed. Error
+  /// isolation: an unknown or not-yet-full session fails only itself; an
+  /// engine failure fails only that group's members. Forecasts are
+  /// bit-identical to per-session Forecast for windowed sessions (and
+  /// any group of size 1) and match within 1e-5 for batched warm carry.
+  /// Duplicate ids are rejected with kInvalidArgument.
+  std::vector<ForecastResponse> ForecastBatch(
+      const std::vector<std::string>& session_ids);
+
+  /// \brief ForecastBatch over every open session — the tick-barrier
+  /// fan-in a scheduler calls once per tick. Pair order is unspecified.
+  std::vector<std::pair<std::string, ForecastResponse>> ForecastAll();
 
   /// \brief Closes a session; kNotFound if it is not open.
   Status Close(const std::string& session_id);
@@ -194,6 +245,23 @@ class SessionManager {
   std::shared_ptr<Session> Find(const std::string& session_id) const;
   /// Under mu_: TTL sweep + LRU eviction down to max_sessions - 1.
   void EvictLocked();
+  /// Under s->mu: validates and ingests one tick frame — feature
+  /// staging, ring pushes, rolling stats, tick accounting — everything
+  /// except the warm-state advance, which Append runs per session and
+  /// AppendMany runs batched across sessions.
+  Status IngestFrameLocked(Session* s, int64_t tick,
+                           const tensor::Tensor& raw_flow);
+  /// Under s->mu: rebuilds warm state from the full ring if the resync
+  /// cadence fires this tick. True means the session resynced and must
+  /// be masked out of (or skip) this tick's encoder advance — safe
+  /// because the rebuild overwrites the carried state completely.
+  static bool MaybeResyncLocked(Session* s);
+  /// ForecastBatch over already-pinned sessions (nullptr = unknown id).
+  std::vector<ForecastResponse> ForecastPinned(
+      const std::vector<std::string>& session_ids,
+      const std::vector<std::shared_ptr<Session>>& pinned);
+  /// Accumulates one group forward into the occupancy counters.
+  void RecordBatch(const std::string& model, int64_t batch_size);
 
   ForecastRouter* router_;
   SessionManagerOptions options_;
@@ -214,6 +282,12 @@ class SessionManager {
   std::atomic<int64_t> ticks_{0};
   std::atomic<int64_t> forecasts_{0};
   std::atomic<int64_t> rejected_ticks_{0};
+
+  /// Batch occupancy counters (fleet-wide + per model), under their own
+  /// mutex so hot Append/Forecast paths never contend on them.
+  mutable std::mutex batch_mu_;
+  SessionBatchStats batch_stats_;
+  std::map<std::string, SessionBatchStats> batch_by_model_;
 };
 
 }  // namespace dyhsl::serve

@@ -534,6 +534,26 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   return out;
 }
 
+Tensor PackBatch(const std::vector<Tensor>& items) {
+  DYHSL_CHECK(!items.empty());
+  DYHSL_CHECK(items[0].defined());
+  Shape batched;
+  batched.reserve(items[0].dim() + 1);
+  batched.push_back(static_cast<int64_t>(items.size()));
+  batched.insert(batched.end(), items[0].shape().begin(),
+                 items[0].shape().end());
+  if (items.size() == 1) return items[0].Reshape(std::move(batched));
+  const int64_t item_numel = items[0].numel();
+  Tensor out(batched);
+  for (size_t i = 0; i < items.size(); ++i) {
+    DYHSL_CHECK(items[i].shape() == items[0].shape());
+    std::memcpy(out.data() + static_cast<int64_t>(i) * item_numel,
+                items[i].data(),
+                static_cast<size_t>(item_numel) * sizeof(float));
+  }
+  return out;
+}
+
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
   if (axis < 0) axis += a.dim();
   DYHSL_CHECK_GE(start, 0);

@@ -123,6 +123,13 @@ Tensor Transpose2D(const Tensor& a);
 /// \brief General axis permutation (copies).
 Tensor TransposePerm(const Tensor& a, const std::vector<int64_t>& perm);
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+/// \brief Stacks B equally-shaped items into one (B, ...) batch tensor.
+/// B == 1 is zero-copy: the result is a Reshape view sharing items[0]'s
+/// storage — no allocation, no memcpy — which is what lets the serving
+/// packers pass a single request straight through. B > 1 allocates
+/// through the current allocation path (arena inside a WorkspaceScope)
+/// and copies each item into its batch slot.
+Tensor PackBatch(const std::vector<Tensor>& items);
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length);
 /// \brief out[i, :] = a[indices[i], :] for a 2-D `a`.
 Tensor TakeRows(const Tensor& a, const std::vector<int64_t>& indices);

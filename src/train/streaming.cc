@@ -1,0 +1,38 @@
+#include "src/train/streaming.h"
+
+#include "src/core/check.h"
+#include "src/tensor/ops.h"
+
+namespace dyhsl::train {
+
+// Fallback batching: loop the per-session methods. Correct (and
+// bit-identical to the sequential path) for every model; models with a
+// batch-capable cell override with one stacked step instead.
+
+void RecurrentStreamModel::AdvanceStateBatch(
+    const std::vector<StreamState*>& states,
+    const tensor::Tensor& frames) const {
+  const int64_t b = static_cast<int64_t>(states.size());
+  if (b == 0) return;
+  DYHSL_CHECK_GE(frames.dim(), 2);
+  DYHSL_CHECK_EQ(frames.size(0), b);
+  const tensor::Shape frame_shape(frames.shape().begin() + 1,
+                                  frames.shape().end());
+  const int64_t frame_numel = frames.numel() / b;
+  for (int64_t i = 0; i < b; ++i) {
+    StreamStep(states[i], frames.Alias(i * frame_numel, frame_shape));
+  }
+}
+
+tensor::Tensor RecurrentStreamModel::ForecastFromStateBatch(
+    const std::vector<const StreamState*>& states) const {
+  DYHSL_CHECK(!states.empty());
+  std::vector<tensor::Tensor> forecasts;
+  forecasts.reserve(states.size());
+  for (const StreamState* state : states) {
+    forecasts.push_back(StreamForecast(*state));
+  }
+  return tensor::PackBatch(forecasts);
+}
+
+}  // namespace dyhsl::train

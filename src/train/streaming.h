@@ -23,6 +23,7 @@
 #define DYHSL_TRAIN_STREAMING_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/tensor/tensor.h"
 
@@ -65,6 +66,32 @@ class RecurrentStreamModel {
   /// forecast (T', N). Does not advance or mutate `state` (each call
   /// rolls a private copy of the hidden state).
   virtual tensor::Tensor StreamForecast(const StreamState& state) const = 0;
+
+  /// \name Cross-session batching
+  ///
+  /// The batched forms amortize one cell step / decoder rollout across B
+  /// sessions that are ready at the same tick. The base implementations
+  /// loop the per-session methods (so every RecurrentStreamModel batches
+  /// correctly out of the box); models with a batch-capable cell (DCRNN)
+  /// override them to stack per-session state into (B, N, d) and run one
+  /// batched step. Contract: per-session results equal the sequential
+  /// methods — bit-identically at B == 1, and within 1e-5 for B > 1
+  /// (the stacked kernels process each batch item with the same
+  /// accumulation order, so overrides are typically bit-identical too).
+  /// @{
+
+  /// \brief Advances states[i] by one tick using frames slice i, where
+  /// `frames` is the (B, frame_shape...) stack of per-session frames.
+  virtual void AdvanceStateBatch(const std::vector<StreamState*>& states,
+                                 const tensor::Tensor& frames) const;
+
+  /// \brief Decoder-only rollout for every state: stacked raw-flow
+  /// forecasts (B, T', N). Mutates no state. The result is allocated
+  /// through the caller's current allocation path (arena inside a
+  /// WorkspaceScope) — copy it out before any reset.
+  virtual tensor::Tensor ForecastFromStateBatch(
+      const std::vector<const StreamState*>& states) const;
+  /// @}
 };
 
 }  // namespace dyhsl::train

@@ -5,10 +5,13 @@
 // recurrent-state carry and resync on DCRNN, DHGNN structure reuse, and
 // the router's pooled gather scratch.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,7 +25,9 @@
 #include "src/serve/engine.h"
 #include "src/serve/router.h"
 #include "src/serve/session.h"
+#include "src/tensor/ops.h"
 #include "src/tensor/ring.h"
+#include "src/tensor/workspace.h"
 #include "src/train/model_zoo.h"
 #include "tests/testing_utils.h"
 
@@ -730,6 +735,357 @@ TEST(StreamSessionTest, RouterGatherScratchTracksConcurrencyNotRequests) {
   EXPECT_GE(router->ScratchAllocated("stgcn2"), plan.num_shards());
   EXPECT_LE(router->ScratchAllocated("stgcn2"), 2 * plan.num_shards());
   EXPECT_EQ(router->ScratchAllocated("unknown"), 0);
+}
+
+// -------------------------------------- Cross-session batched forecasts --
+
+TEST(PackBatchTest, SingleItemPassesThroughZeroCopy) {
+  T::Tensor item({3, 4});
+  item.Fill(2.0f);
+  // The satellite regression for the engine's B = 1 flush: packing one
+  // item must be a reshape view — same storage, zero arena traffic.
+  T::Workspace ws;
+  T::WorkspaceScope scope(&ws);
+  T::Tensor packed = T::PackBatch({item});
+  EXPECT_EQ(packed.shape(), (T::Shape{1, 3, 4}));
+  EXPECT_EQ(packed.data(), item.data());
+  EXPECT_EQ(ws.live_allocations(), 0);
+  EXPECT_EQ(ws.bytes_reserved(), 0);
+}
+
+TEST(PackBatchTest, CopiesEachItemIntoBatchSlot) {
+  T::Tensor a({2, 3});
+  T::Tensor b({2, 3});
+  for (int64_t i = 0; i < 6; ++i) {
+    a.data()[i] = static_cast<float>(i);
+    b.data()[i] = static_cast<float>(100 + i);
+  }
+  T::Tensor packed = T::PackBatch({a, b});
+  ASSERT_EQ(packed.shape(), (T::Shape{2, 2, 3}));
+  EXPECT_NE(packed.data(), a.data());
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(packed.data()[i], a.data()[i]);
+    EXPECT_EQ(packed.data()[6 + i], b.data()[i]);
+  }
+}
+
+TEST(StreamSessionTest, SubmitBatchMatchesForecastNowPerItem) {
+  train::ForecastTask task = train::RingForecastTask(8, 12);
+  auto engine =
+      std::move(ForecastEngine::Create(task, ZooFactory("STGCN", TinyZoo())))
+          .ValueOrDie();
+  Rng rng(7);
+  const int64_t b = 3;
+  const int64_t window_numel = task.history * task.num_nodes * task.input_dim;
+  T::Tensor windows = T::Tensor::Randn(
+      {b, task.history, task.num_nodes, task.input_dim}, &rng, 0.5f);
+  BatchForecastResponse batch = engine->SubmitBatch(windows);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  EXPECT_EQ(batch.batch_size, b);
+  ASSERT_EQ(batch.forecasts.shape(),
+            (T::Shape{b, task.horizon, task.num_nodes}));
+  // Batched GEMMs keep each item's accumulation order, so every slice is
+  // bit-identical to the single-request fast path.
+  for (int64_t i = 0; i < b; ++i) {
+    ForecastResponse one = engine->ForecastNow(windows.Alias(
+        i * window_numel, {task.history, task.num_nodes, task.input_dim}));
+    ASSERT_TRUE(one.status.ok()) << one.status.ToString();
+    EXPECT_TRUE(TensorEq(
+        batch.forecasts.Alias(i * task.horizon * task.num_nodes,
+                              {task.horizon, task.num_nodes}),
+        one.forecast))
+        << "item " << i;
+  }
+  EngineStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.batched_submits, 1);
+  EXPECT_EQ(stats.batched_requests, b);
+  EXPECT_EQ(stats.batched_max, b);
+  EXPECT_EQ(stats.requests, 2 * b);  // the batch counts per session
+  // Shape validation fails fast.
+  EXPECT_EQ(engine->SubmitBatch(T::Tensor({2, 2})).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamSessionTest, ForecastBatchMatchesPerSessionForecastAcrossModels) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  graph::ShardPlan plan = graph::ShardPlan::Build(task.spatial_adj, 2, 1);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  ASSERT_TRUE(router
+                  ->AddShardedModel("stgcn2", task, plan,
+                                    ZooFactory("STGCN", TinyZoo()))
+                  .ok());
+  SessionManager manager(router.get());
+
+  // A mixed fleet: unsharded and sharded sessions, all on one tick barrier.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    SessionOptions flat;
+    flat.model = "stgcn";
+    ASSERT_TRUE(manager.Open("u" + std::to_string(i), flat).ok());
+    ids.push_back("u" + std::to_string(i));
+    SessionOptions sharded;
+    sharded.model = "stgcn2";
+    ASSERT_TRUE(manager.Open("h" + std::to_string(i), sharded).ok());
+    ids.push_back("h" + std::to_string(i));
+  }
+  data::TickStream stream(ds.traffic(), 0, task.history + 1);
+  for (; !stream.Done(); stream.Advance()) {
+    std::vector<T::Tensor> frames(ids.size(), stream.Frame());
+    for (const Status& s : manager.AppendMany(ids, stream.tick(), frames)) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  }
+
+  std::map<std::string, T::Tensor> reference;
+  for (const std::string& id : ids) {
+    ForecastResponse r = manager.Forecast(id);
+    ASSERT_TRUE(r.status.ok()) << id << ": " << r.status.ToString();
+    reference.emplace(id, r.forecast);
+  }
+  // Batched over a shuffled order: bit-identical per session, sharded
+  // models included.
+  std::mt19937 gen(99);
+  std::shuffle(ids.begin(), ids.end(), gen);
+  std::vector<ForecastResponse> batched = manager.ForecastBatch(ids);
+  ASSERT_EQ(batched.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(batched[i].status.ok())
+        << ids[i] << ": " << batched[i].status.ToString();
+    EXPECT_EQ(batched[i].batch_size, 3);  // three sessions per model group
+    EXPECT_TRUE(TensorEq(batched[i].forecast, reference.at(ids[i]))) << ids[i];
+  }
+
+  // Occupancy: two model groups of three sessions each.
+  SessionManagerStats stats = manager.Stats();
+  EXPECT_EQ(stats.batch.batched_forecasts, 2);
+  EXPECT_EQ(stats.batch.batch_size_sum, 6);
+  EXPECT_EQ(stats.batch.batch_size_max, 3);
+  EXPECT_EQ(stats.batch_by_model.at("stgcn").batch_size_sum, 3);
+  EXPECT_EQ(stats.batch_by_model.at("stgcn2").batch_size_max, 3);
+  // The engine-side view surfaces through the router totals: one
+  // SubmitBatch on the unsharded engine, one per stgcn2 shard.
+  RouterStats rstats = router->Stats();
+  EXPECT_EQ(rstats.total.batched_submits, 1 + plan.num_shards());
+  EXPECT_EQ(rstats.total.batched_max, 3);
+}
+
+TEST(StreamSessionTest, BatchedWarmCarryMatchesSequentialWithinTolerance) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("dcrnn", task, ZooFactory("DCRNN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+
+  // Twin warm fleets on the same feed with an active resync cadence:
+  // "a*" advances per-session, "b*" through tick-barrier AppendMany (one
+  // batched cell step per tick, resync members masked out).
+  const int kFleet = 3;
+  std::vector<std::string> seq_ids;
+  std::vector<std::string> batch_ids;
+  for (int i = 0; i < kFleet; ++i) {
+    SessionOptions warm;
+    warm.model = "dcrnn";
+    warm.warm_state = true;
+    warm.resync_every = 7;
+    ASSERT_TRUE(manager.Open("a" + std::to_string(i), warm).ok());
+    ASSERT_TRUE(manager.Open("b" + std::to_string(i), warm).ok());
+    seq_ids.push_back("a" + std::to_string(i));
+    batch_ids.push_back("b" + std::to_string(i));
+  }
+  data::TickStream stream(ds.traffic(), 0, task.history + 9);
+  for (; !stream.Done(); stream.Advance()) {
+    for (const std::string& id : seq_ids) {
+      ASSERT_TRUE(manager.Append(id, stream.tick(), stream.Frame()).ok());
+    }
+    std::vector<T::Tensor> frames(batch_ids.size(), stream.Frame());
+    for (const Status& s :
+         manager.AppendMany(batch_ids, stream.tick(), frames)) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  }
+  for (int i = 0; i < kFleet; ++i) {
+    auto info = manager.SessionInfo(batch_ids[i]);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.ValueOrDie().resyncs, 2);  // cadence fired in the batch
+  }
+
+  // The 1e-5 warm-carry contract is stated in normalized model units;
+  // forecasts are descaled by the training std, so the absolute
+  // tolerance scales with it.
+  const float warm_atol = 1e-5f * task.scaler_std;
+  std::vector<ForecastResponse> sequential(kFleet);
+  std::vector<ForecastResponse> twin(kFleet);
+  for (int i = 0; i < kFleet; ++i) {
+    sequential[i] = manager.Forecast(seq_ids[i]);
+    twin[i] = manager.Forecast(batch_ids[i]);
+    ASSERT_TRUE(sequential[i].status.ok());
+    ASSERT_TRUE(twin[i].status.ok());
+    EXPECT_TRUE(
+        TensorNear(twin[i].forecast, sequential[i].forecast, warm_atol))
+        << batch_ids[i];
+  }
+  // Batched decode vs per-session decode of the very same carried state.
+  std::vector<ForecastResponse> batched = manager.ForecastBatch(batch_ids);
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(batched[i].status.ok()) << batched[i].status.ToString();
+    EXPECT_EQ(batched[i].batch_size, kFleet);
+    EXPECT_TRUE(TensorNear(batched[i].forecast, twin[i].forecast, warm_atol));
+  }
+  // A one-member warm group decodes bit-identically to Forecast.
+  std::vector<ForecastResponse> solo =
+      manager.ForecastBatch({seq_ids[0]});
+  ASSERT_TRUE(solo[0].status.ok());
+  EXPECT_TRUE(TensorEq(solo[0].forecast, sequential[0].forecast));
+}
+
+TEST(StreamSessionTest, ForecastBatchIsolatesPerSessionErrors) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("ready", SessionOptions()).ok());
+  ASSERT_TRUE(manager.Open("empty", SessionOptions()).ok());
+  StreamTicks(&manager, "ready", 0, task.history);
+
+  std::vector<ForecastResponse> rs =
+      manager.ForecastBatch({"ready", "ghost", "empty", "ready"});
+  ASSERT_EQ(rs.size(), 4u);
+  ASSERT_TRUE(rs[0].status.ok()) << rs[0].status.ToString();
+  EXPECT_EQ(rs[1].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(rs[2].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rs[3].status.code(), StatusCode::kInvalidArgument);  // duplicate
+  EXPECT_TRUE(TensorEq(rs[0].forecast, manager.Forecast("ready").forecast));
+}
+
+TEST(StreamSessionTest, AppendManyIsolatesErrorsAndRejectsDuplicates) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  ASSERT_TRUE(manager.Open("s0", SessionOptions()).ok());
+  ASSERT_TRUE(manager.Open("s1", SessionOptions()).ok());
+
+  data::TickStream stream(ds.traffic(), 0, 1);
+  T::Tensor frame = stream.Frame().Clone();
+  std::vector<Status> statuses = manager.AppendMany(
+      {"s0", "ghost", "s1", "s0"}, 0, {frame, frame, frame, frame});
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_EQ(statuses[1].code(), StatusCode::kNotFound);
+  EXPECT_TRUE(statuses[2].ok()) << statuses[2].ToString();
+  EXPECT_EQ(statuses[3].code(), StatusCode::kInvalidArgument);  // duplicate
+  // The good sessions ingested exactly one tick.
+  EXPECT_EQ(manager.SessionInfo("s0").ValueOrDie().next_tick, 1);
+  EXPECT_EQ(manager.SessionInfo("s1").ValueOrDie().next_tick, 1);
+  // Mismatched ids/frames arity fails every slot without side effects.
+  std::vector<Status> arity = manager.AppendMany({"s0", "s1"}, 1, {frame});
+  ASSERT_EQ(arity.size(), 2u);
+  EXPECT_EQ(arity[0].code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(arity[1].code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.SessionInfo("s0").ValueOrDie().next_tick, 1);
+}
+
+TEST(StreamSessionTest, ConcurrentAppendDuringForecastAllStaysConsistent) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManager manager(router.get());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back("f" + std::to_string(i));
+    ASSERT_TRUE(manager.Open(ids.back(), SessionOptions()).ok());
+  }
+
+  constexpr int64_t kTicks = 30;
+  std::atomic<bool> done{false};
+  std::thread appender([&] {
+    data::TickStream stream(ds.traffic(), 0, kTicks);
+    for (; !stream.Done(); stream.Advance()) {
+      std::vector<T::Tensor> frames(ids.size(), stream.Frame());
+      for (const Status& s :
+           manager.AppendMany(ids, stream.tick(), frames)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+    }
+    done.store(true);
+  });
+  std::thread forecaster([&] {
+    while (!done.load()) {
+      for (auto& [id, r] : manager.ForecastAll()) {
+        if (r.status.ok()) {
+          ASSERT_EQ(r.forecast.shape(),
+                    (T::Shape{task.horizon, task.num_nodes}));
+        } else {
+          ASSERT_EQ(r.status.code(), StatusCode::kUnavailable)
+              << id << ": " << r.status.ToString();
+        }
+      }
+    }
+  });
+  appender.join();
+  forecaster.join();
+  for (auto& [id, r] : manager.ForecastAll()) {
+    EXPECT_TRUE(r.status.ok()) << id << ": " << r.status.ToString();
+  }
+  for (const std::string& id : ids) {
+    EXPECT_EQ(manager.SessionInfo(id).ValueOrDie().ticks, kTicks);
+  }
+}
+
+TEST(StreamSessionTest, EvictionDuringBatchedForecastIsSafe) {
+  const data::TrafficDataset& ds = SharedDataset();
+  train::ForecastTask task = train::ForecastTask::FromDataset(ds);
+  auto router = std::move(ForecastRouter::Create()).ValueOrDie();
+  ASSERT_TRUE(
+      router->AddModel("stgcn", task, ZooFactory("STGCN", TinyZoo())).ok());
+  SessionManagerOptions mgr_options;
+  mgr_options.max_sessions = 4;
+  SessionManager manager(router.get(), mgr_options);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back("v" + std::to_string(i));
+    ASSERT_TRUE(manager.Open(ids.back(), SessionOptions()).ok());
+    StreamTicks(&manager, ids.back(), 0, task.history);
+  }
+
+  // An opener churns the LRU slots while batched forecasts are in
+  // flight: the batch pins its sessions via shared_ptr, so a member
+  // evicted mid-batch still serves; later rounds see NotFound.
+  std::atomic<bool> done{false};
+  std::thread opener([&] {
+    for (int i = 0; i < 24; ++i) {
+      Status s = manager.Open("churn" + std::to_string(i), SessionOptions());
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+    done.store(true);
+  });
+  std::thread forecaster([&] {
+    while (!done.load()) {
+      std::vector<ForecastResponse> rs = manager.ForecastBatch(ids);
+      for (size_t i = 0; i < rs.size(); ++i) {
+        if (rs[i].status.ok()) {
+          ASSERT_EQ(rs[i].forecast.shape(),
+                    (T::Shape{task.horizon, task.num_nodes}));
+        } else {
+          ASSERT_EQ(rs[i].status.code(), StatusCode::kNotFound)
+              << ids[i] << ": " << rs[i].status.ToString();
+        }
+      }
+    }
+  });
+  opener.join();
+  forecaster.join();
+  EXPECT_EQ(manager.Stats().evicted_lru, 24);
 }
 
 }  // namespace
