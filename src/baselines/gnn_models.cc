@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/autograd/inference.h"
@@ -604,14 +606,67 @@ struct DhgnnStructure {
   T::TopKPatternCache::Stats stats;
 };
 
+// Same bounded-registry scheme as DhslBlock's pattern caches: the model
+// destructor retires its id and bumps a generation; each thread sweeps
+// retired entries out of its registry before the next lookup, so a
+// long-lived serving thread never accumulates structures for dead models.
+std::mutex& DhgnnLiveIdMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<uint64_t>& DhgnnLiveIds() {
+  // Leaked: serving threads may sweep during static destruction.
+  static auto* ids = new std::unordered_set<uint64_t>();
+  return *ids;
+}
+
+std::atomic<uint64_t>& DhgnnLiveGeneration() {
+  static std::atomic<uint64_t> gen{0};
+  return gen;
+}
+
 uint64_t NextDhgnnCacheId() {
   static std::atomic<uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t id = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(DhgnnLiveIdMutex());
+  DhgnnLiveIds().insert(id);
+  return id;
+}
+
+void RetireDhgnnCacheId(uint64_t id) {
+  std::lock_guard<std::mutex> lock(DhgnnLiveIdMutex());
+  DhgnnLiveIds().erase(id);
+  DhgnnLiveGeneration().fetch_add(1, std::memory_order_release);
+}
+
+struct DhgnnThreadRegistry {
+  std::unordered_map<uint64_t, DhgnnStructure> structures;
+  uint64_t seen_generation = 0;
+};
+
+DhgnnThreadRegistry& DhgnnRegistryForThread() {
+  thread_local DhgnnThreadRegistry registry;
+  return registry;
+}
+
+void DhgnnSweepDeadIds(DhgnnThreadRegistry& registry) {
+  const uint64_t gen =
+      DhgnnLiveGeneration().load(std::memory_order_acquire);
+  if (gen == registry.seen_generation) return;
+  std::lock_guard<std::mutex> lock(DhgnnLiveIdMutex());
+  for (auto it = registry.structures.begin();
+       it != registry.structures.end();) {
+    it = DhgnnLiveIds().count(it->first) ? std::next(it)
+                                         : registry.structures.erase(it);
+  }
+  registry.seen_generation = gen;
 }
 
 DhgnnStructure& DhgnnCacheForThread(uint64_t cache_id) {
-  thread_local std::unordered_map<uint64_t, DhgnnStructure> registry;
-  return registry[cache_id];
+  DhgnnThreadRegistry& registry = DhgnnRegistryForThread();
+  DhgnnSweepDeadIds(registry);
+  return registry.structures[cache_id];
 }
 
 // A node counts as drifted once its signature mean moved by more than
@@ -683,6 +738,14 @@ Dhgnn::Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
   RegisterChild("hconv2", &hconv2_);
   RegisterChild("head", &head_);
 }
+
+int64_t ThreadStructureRegistrySizeForTesting() {
+  DhgnnThreadRegistry& registry = DhgnnRegistryForThread();
+  DhgnnSweepDeadIds(registry);
+  return static_cast<int64_t>(registry.structures.size());
+}
+
+Dhgnn::~Dhgnn() { RetireDhgnnCacheId(cache_id_); }
 
 tensor::TopKPatternCache::Stats Dhgnn::StructureCacheStats() const {
   return DhgnnCacheForThread(cache_id_).stats;

@@ -215,6 +215,9 @@ class Dhgnn : public GnnModelBase {
   Dhgnn(const train::ForecastTask& task, int64_t hidden_dim,
         int64_t num_clusters, int64_t knn, uint64_t seed,
         bool structure_reuse = false, float structure_drift_threshold = 0.05f);
+  /// \brief Retires the structure-cache id so every thread's registry
+  /// evicts this model's entry on its next lookup (bounded registries).
+  ~Dhgnn() override;
   Variable Forward(const tensor::Tensor& x, bool training) override;
   std::string name() const override { return "DHGNN"; }
 
@@ -261,6 +264,10 @@ class StgOde : public GnnModelBase {
   nn::Linear field_proj_;
   nn::Linear head_;
 };
+
+/// \brief Number of DHGNN structure-cache entries the *calling thread*
+/// currently holds, after sweeping retired models (leak regression tests).
+int64_t ThreadStructureRegistrySizeForTesting();
 
 }  // namespace dyhsl::baselines
 

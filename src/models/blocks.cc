@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/autograd/inference.h"
@@ -20,25 +22,86 @@ namespace {
 // Pattern caches are looked up thread-locally by block id: Forward stays
 // const, concurrent serving workers never share mutable state, and each
 // warm worker keeps its own patterns across the requests it handles (the
-// per-session reuse the serve engine wants). Entries die with the thread.
+// per-session reuse the serve engine wants).
+//
+// Thread-local entries must not outlive their block: long-lived serving
+// threads that touch many short-lived blocks (model zoo churn, per-request
+// model construction in tests) would otherwise grow every registry without
+// bound. A process-wide live-id set plus a generation counter bounds this:
+// the block destructor retires its id and bumps the generation, and each
+// thread sweeps dead ids out of its registry the next time it looks a
+// cache up after the generation moved. Amortized O(1) per lookup.
+std::mutex& LiveIdMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<uint64_t>& LiveIds() {
+  // Leaked: serving threads may sweep during static destruction.
+  static auto* ids = new std::unordered_set<uint64_t>();
+  return *ids;
+}
+
+std::atomic<uint64_t>& LiveGeneration() {
+  static std::atomic<uint64_t> gen{0};
+  return gen;
+}
+
 uint64_t NextCacheId() {
   static std::atomic<uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(LiveIdMutex());
+  LiveIds().insert(id);
+  return id;
+}
+
+void RetireCacheId(uint64_t id) {
+  std::lock_guard<std::mutex> lock(LiveIdMutex());
+  LiveIds().erase(id);
+  LiveGeneration().fetch_add(1, std::memory_order_release);
+}
+
+struct ThreadRegistry {
+  std::unordered_map<uint64_t, T::TopKPatternCache> caches;
+  uint64_t seen_generation = 0;
+};
+
+ThreadRegistry& RegistryForThread() {
+  thread_local ThreadRegistry registry;
+  return registry;
+}
+
+void SweepDeadIds(ThreadRegistry& registry) {
+  const uint64_t gen = LiveGeneration().load(std::memory_order_acquire);
+  if (gen == registry.seen_generation) return;
+  std::lock_guard<std::mutex> lock(LiveIdMutex());
+  for (auto it = registry.caches.begin(); it != registry.caches.end();) {
+    it = LiveIds().count(it->first) ? std::next(it)
+                                    : registry.caches.erase(it);
+  }
+  registry.seen_generation = gen;
 }
 
 T::TopKPatternCache& CacheForThread(uint64_t cache_id,
                                     float drift_threshold) {
-  thread_local std::unordered_map<uint64_t, T::TopKPatternCache> registry;
-  auto it = registry.find(cache_id);
-  if (it == registry.end()) {
+  ThreadRegistry& registry = RegistryForThread();
+  SweepDeadIds(registry);
+  auto it = registry.caches.find(cache_id);
+  if (it == registry.caches.end()) {
     T::TopKPatternCache::Options opts;
     opts.drift_threshold = drift_threshold;
-    it = registry.emplace(cache_id, T::TopKPatternCache(opts)).first;
+    it = registry.caches.emplace(cache_id, T::TopKPatternCache(opts)).first;
   }
   return it->second;
 }
 
 }  // namespace
+
+int64_t ThreadPatternRegistrySizeForTesting() {
+  ThreadRegistry& registry = RegistryForThread();
+  SweepDeadIds(registry);
+  return static_cast<int64_t>(registry.caches.size());
+}
 
 PriorGraphEncoder::PriorGraphEncoder(
     int64_t num_nodes, int64_t history, int64_t input_dim, int64_t hidden_dim,
@@ -117,14 +180,21 @@ DhslBlock::DhslBlock(int64_t hidden_dim, int64_t num_hyperedges, Rng* rng,
   T::Tensor w = nn::GlorotUniform2D(hidden_dim, num_hyperedges, rng);
   if (mode_ == StructureLearning::kFixedRandom) {
     // "NSL": the incidence direction is frozen; hypergraph convolution
-    // still runs but the structure is not learned.
-    incidence_weight_ = Variable(std::move(w), /*requires_grad=*/false);
+    // still runs but the structure is not learned. Registered as a
+    // constant so prepack enrollment (NamedConstants) still sees it.
+    incidence_weight_ = RegisterConstant("incidence_weight", std::move(w));
   } else {
     incidence_weight_ = RegisterParameter("incidence_weight", std::move(w));
   }
   edge_mixer_ = RegisterParameter(
       "edge_mixer",
       nn::GlorotUniform2D(num_hyperedges, num_hyperedges, rng));
+}
+
+DhslBlock::~DhslBlock() {
+  // Retire the cache id so every thread's registry can drop this block's
+  // pattern cache on its next lookup (the unbounded-growth fix).
+  RetireCacheId(cache_id_);
 }
 
 void DhslBlock::RegisterSequenceLength(int64_t rows, Rng* rng) {

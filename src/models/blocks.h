@@ -89,6 +89,11 @@ class DhslBlock : public nn::Module {
             int64_t sparse_topk = 0, bool pattern_reuse = false,
             float drift_threshold = 0.05f);
 
+  /// \brief Retires this block's pattern-cache id: every thread's
+  /// thread-local registry evicts the dead entry on its next cache lookup,
+  /// so registries stay bounded by the number of *live* blocks.
+  ~DhslBlock() override;
+
   /// \brief One hypergraph convolution pass over H (B, R, d).
   Variable Forward(const Variable& h) const;
 
@@ -146,6 +151,10 @@ class IgcBlock : public nn::Module {
   nn::Linear w2_;
   nn::Linear w3_;
 };
+
+/// \brief Number of pattern-cache entries the *calling thread* currently
+/// holds, after sweeping retired blocks (leak regression tests).
+int64_t ThreadPatternRegistrySizeForTesting();
 
 }  // namespace dyhsl::models
 

@@ -26,6 +26,18 @@ Module::NamedParameters() const {
   return out;
 }
 
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedConstants() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& [name, constant] : constants_) out.emplace_back(name, constant);
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, constant] : child->NamedConstants()) {
+      out.emplace_back(child_name + "." + name, constant);
+    }
+  }
+  return out;
+}
+
 int64_t Module::ParameterCount() const {
   int64_t count = 0;
   for (const autograd::Variable& p : Parameters()) count += p.numel();
@@ -37,6 +49,13 @@ autograd::Variable Module::RegisterParameter(std::string name,
   autograd::Variable param(std::move(init), /*requires_grad=*/true);
   params_.emplace_back(std::move(name), param);
   return param;
+}
+
+autograd::Variable Module::RegisterConstant(std::string name,
+                                            tensor::Tensor init) {
+  autograd::Variable constant(std::move(init), /*requires_grad=*/false);
+  constants_.emplace_back(std::move(name), constant);
+  return constant;
 }
 
 void Module::RegisterChild(std::string name, Module* child) {

@@ -29,6 +29,14 @@ class Module {
   std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
       const;
 
+  /// \brief Named non-trainable constants (RegisterConstant), prefixed by
+  /// the child path like NamedParameters. Constants are excluded from
+  /// Parameters()/checkpoints; the walk exists so generic consumers — the
+  /// serving engine's weight-prepack enrollment — can reach every frozen
+  /// tensor a model multiplies by, without per-model code.
+  std::vector<std::pair<std::string, autograd::Variable>> NamedConstants()
+      const;
+
   /// \brief Total number of scalar parameters.
   int64_t ParameterCount() const;
 
@@ -37,12 +45,18 @@ class Module {
   autograd::Variable RegisterParameter(std::string name,
                                        tensor::Tensor init);
 
+  /// \brief Wraps `init` as a frozen (requires_grad = false) tensor and
+  /// tracks it for NamedConstants(). Not a parameter: never trained,
+  /// never checkpointed.
+  autograd::Variable RegisterConstant(std::string name, tensor::Tensor init);
+
   /// \brief Tracks a child module (not owned; the subclass owns it as a
   /// member and must outlive registration).
   void RegisterChild(std::string name, Module* child);
 
  private:
   std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, autograd::Variable>> constants_;
   std::vector<std::pair<std::string, Module*>> children_;
 };
 

@@ -87,6 +87,9 @@ Result<std::unique_ptr<ForecastEngine>> ForecastEngine::Create(
     DYHSL_RETURN_NOT_OK(
         train::LoadCheckpoint(module, checkpoint_path, &engine->shard_meta_));
   }
+  // Build the inference plan once, after the weights reached their final
+  // bytes: every 2-D weight is prepacked before the first request.
+  engine->EnrollPrepack();
   for (int64_t w = 0; w < options.num_workers; ++w) {
     engine->workers_.emplace_back([raw = engine.get()] { raw->WorkerLoop(); });
   }
@@ -130,7 +133,43 @@ ForecastEngine::ForecastEngine(const train::ForecastTask& task,
   }
 }
 
-ForecastEngine::~ForecastEngine() { Shutdown(); }
+ForecastEngine::~ForecastEngine() {
+  Shutdown();
+  // Drop this engine's inference plan: the cache entries keep the weight
+  // storage alive, so without the release a destroyed engine would pin
+  // its model's weights (and their packed panels) forever.
+  for (const float* ptr : prepack_ptrs_) {
+    tensor::PrepackCache::Instance().Release(ptr);
+  }
+}
+
+void ForecastEngine::EnrollPrepack() {
+  const auto* module = dynamic_cast<const nn::Module*>(model_.get());
+  if (module == nullptr) return;
+  tensor::PrepackCache& cache = tensor::PrepackCache::Instance();
+  // Every 2-D parameter and registered constant is a GEMM weight
+  // candidate; higher-rank tensors (embeddings indexed per row, conv
+  // stacks) never reach MatMul as a whole operand and are skipped.
+  auto enroll = [&](const std::vector<std::pair<std::string, autograd::Variable>>&
+                        named) {
+    for (const auto& [name, var] : named) {
+      if (!var.value().defined() || var.value().dim() != 2) continue;
+      cache.Enroll(var.value());
+      prepack_ptrs_.push_back(var.value().data());
+    }
+  };
+  enroll(module->NamedParameters());
+  enroll(module->NamedConstants());
+}
+
+void ForecastEngine::AccumulatePrepackDelta(
+    const tensor::PrepackCache::Stats& before) {
+  const tensor::PrepackCache::Stats now =
+      tensor::PrepackCache::ThreadCounters();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.prepack.hits += now.hits - before.hits;
+  stats_.prepack.misses += now.misses - before.misses;
+}
 
 void ForecastEngine::Shutdown() {
   // Claim the worker set under the lock so concurrent Shutdown calls
@@ -195,6 +234,10 @@ std::future<ForecastResponse> ForecastEngine::Submit(ForecastRequest request) {
 }
 
 EngineStats ForecastEngine::Snapshot() const {
+  // Pack inventory first, outside mu_: prepack_ptrs_ is immutable once
+  // the workers start, and StatsFor takes the cache's own lock.
+  const tensor::PrepackCache::Stats inventory =
+      tensor::PrepackCache::Instance().StatsFor(prepack_ptrs_);
   std::lock_guard<std::mutex> lock(mu_);
   EngineStats snapshot = stats_;
   snapshot.queue_depth = static_cast<int64_t>(queue_.size());
@@ -204,6 +247,9 @@ EngineStats ForecastEngine::Snapshot() const {
     snapshot.pattern.drift_reselects += pattern.drift_reselects;
     snapshot.pattern.drifted_rows += pattern.drifted_rows;
   }
+  snapshot.prepack.panels = inventory.panels;
+  snapshot.prepack.bytes = inventory.bytes;
+  snapshot.prepack.invalidations = inventory.invalidations;
   return snapshot;
 }
 
@@ -242,10 +288,13 @@ ForecastResponse ForecastEngine::ForecastNow(const tensor::Tensor& window) {
     }
   }
   const Clock::time_point started = Clock::now();
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   // Same team size as the worker loop: GEMM is bit-deterministic per
   // thread count, so the fast path reproduces the queue path exactly.
   core::TeamScope team(worker_team_);
   autograd::InferenceModeGuard no_grad;
+  tensor::PrepackLookupScope prepack;
   // One warm arena per calling thread — session threads get the same
   // allocation-free steady state as engine workers.
   thread_local tensor::Workspace workspace;
@@ -269,6 +318,7 @@ ForecastResponse ForecastEngine::ForecastNow(const tensor::Tensor& window) {
   response.batch_size = 1;
   response.compute_micros = MicrosSince(started, Clock::now());
   SamplePatternStats();
+  AccumulatePrepackDelta(pp_before);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += 1;
@@ -301,8 +351,11 @@ BatchForecastResponse ForecastEngine::SubmitBatch(
   }
   const int64_t b = windows.size(0);
   const Clock::time_point started = Clock::now();
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
   autograd::InferenceModeGuard no_grad;
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
@@ -322,6 +375,7 @@ BatchForecastResponse ForecastEngine::SubmitBatch(
   response.batch_size = b;
   response.compute_micros = MicrosSince(started, Clock::now());
   SamplePatternStats();
+  AccumulatePrepackDelta(pp_before);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += b;
@@ -341,25 +395,33 @@ std::unique_ptr<train::StreamState> ForecastEngine::NewStreamState() const {
 void ForecastEngine::AdvanceState(train::StreamState* state,
                                   const tensor::Tensor& frame) {
   DYHSL_CHECK(streaming_ != nullptr);
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
     streaming_->StreamStep(state, frame);
   }
   workspace.Reset();
+  AccumulatePrepackDelta(pp_before);
 }
 
 void ForecastEngine::ResyncState(train::StreamState* state,
                                  const tensor::Tensor& window) {
   DYHSL_CHECK(streaming_ != nullptr);
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
     streaming_->ResyncState(state, window);
   }
   workspace.Reset();
+  AccumulatePrepackDelta(pp_before);
 }
 
 ForecastResponse ForecastEngine::ForecastFromState(
@@ -374,7 +436,10 @@ ForecastResponse ForecastEngine::ForecastFromState(
     }
   }
   const Clock::time_point started = Clock::now();
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
@@ -384,6 +449,8 @@ ForecastResponse ForecastEngine::ForecastFromState(
   workspace.Reset();
   response.batch_size = 1;
   response.compute_micros = MicrosSince(started, Clock::now());
+  SamplePatternStats();
+  AccumulatePrepackDelta(pp_before);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += 1;
@@ -397,13 +464,17 @@ void ForecastEngine::AdvanceStateBatch(
     const tensor::Tensor& frames) {
   DYHSL_CHECK(streaming_ != nullptr);
   if (states.empty()) return;
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
     streaming_->AdvanceStateBatch(states, frames);
   }
   workspace.Reset();
+  AccumulatePrepackDelta(pp_before);
 }
 
 BatchForecastResponse ForecastEngine::ForecastFromStateBatch(
@@ -423,7 +494,10 @@ BatchForecastResponse ForecastEngine::ForecastFromStateBatch(
   }
   const int64_t b = static_cast<int64_t>(states.size());
   const Clock::time_point started = Clock::now();
+  const tensor::PrepackCache::Stats pp_before =
+      tensor::PrepackCache::ThreadCounters();
   core::TeamScope team(worker_team_);
+  tensor::PrepackLookupScope prepack;
   thread_local tensor::Workspace workspace;
   {
     tensor::WorkspaceScope scope(&workspace);
@@ -441,6 +515,8 @@ BatchForecastResponse ForecastEngine::ForecastFromStateBatch(
   workspace.Reset();
   response.batch_size = b;
   response.compute_micros = MicrosSince(started, Clock::now());
+  SamplePatternStats();
+  AccumulatePrepackDelta(pp_before);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += b;
@@ -549,12 +625,16 @@ void ForecastEngine::WorkerLoop() {
     // More requests may still be waiting (queue longer than max_batch);
     // wake another worker — or ourselves on the next loop iteration.
     cv_.notify_one();
+    const tensor::PrepackCache::Stats pp_before =
+        tensor::PrepackCache::ThreadCounters();
     {
+      tensor::PrepackLookupScope prepack;
       tensor::WorkspaceScope scope(&workspace);
       ServeBatch(&batch);
     }
     workspace.Reset();
     SamplePatternStats();
+    AccumulatePrepackDelta(pp_before);
   }
 }
 

@@ -53,6 +53,7 @@
 #include "src/baselines/gnn_models.h"
 #include "src/core/status.h"
 #include "src/models/dyhsl.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/sparse.h"
 #include "src/tensor/tensor.h"
 #include "src/train/checkpoint.h"
@@ -172,6 +173,13 @@ struct EngineStats {
   /// when it is a structure-reuse DHGNN, all zeros otherwise. Reuse is
   /// observable in serving snapshots, not only in unit tests.
   tensor::TopKPatternCache::Stats pattern;
+  /// Inference-plan (weight prepack) counters for this engine's weights:
+  /// `panels`/`bytes` inventory the packed panels currently held (bytes is
+  /// ~the engine's 2-D weight bytes once warm), `hits`/`misses` count
+  /// prepacked-operand lookups from this engine's serving calls, and
+  /// `invalidations` counts checkpoint-reload drops of this engine's
+  /// panels. See tensor::PrepackCache.
+  tensor::PrepackCache::Stats prepack;
 };
 
 /// \brief Loads a model + checkpoint once and serves batched grad-free
@@ -292,6 +300,14 @@ class ForecastEngine {
   /// Publishes the calling thread's structure-cache counters (thread-
   /// local caches) into pattern_by_thread_ so Snapshot() can sum them.
   void SamplePatternStats();
+  /// Enrolls every 2-D parameter/constant of the model in the process
+  /// PrepackCache (called once at Create, after the checkpoint load) and
+  /// remembers the pointers for stats attribution and Release.
+  void EnrollPrepack();
+  /// Adds this thread's prepack hit/miss growth since `before` (sampled
+  /// at the start of a serving call) into stats_.prepack — exact
+  /// per-engine attribution even when one thread serves many engines.
+  void AccumulatePrepackDelta(const tensor::PrepackCache::Stats& before);
 
   train::ForecastTask task_;
   EngineOptions options_;
@@ -305,6 +321,10 @@ class ForecastEngine {
   train::ShardMeta shard_meta_;
   /// Resolved OpenMP team size per worker (see team_size()).
   int worker_team_ = 1;
+  /// Storage pointers of the weights this engine enrolled in the
+  /// PrepackCache. Immutable once the workers start; released (and the
+  /// packed panels with them) in the destructor.
+  std::vector<const float*> prepack_ptrs_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -503,6 +503,13 @@ RouterStats ForecastRouter::Stats() const {
       stats.total.pattern.reuses += e.stats.pattern.reuses;
       stats.total.pattern.drift_reselects += e.stats.pattern.drift_reselects;
       stats.total.pattern.drifted_rows += e.stats.pattern.drifted_rows;
+      // Prepack counters sum cleanly: every engine enrolls its own
+      // weights, so no panel or lookup is attributed twice.
+      stats.total.prepack.panels += e.stats.prepack.panels;
+      stats.total.prepack.bytes += e.stats.prepack.bytes;
+      stats.total.prepack.hits += e.stats.prepack.hits;
+      stats.total.prepack.misses += e.stats.prepack.misses;
+      stats.total.prepack.invalidations += e.stats.prepack.invalidations;
       stats.engines.push_back(std::move(e));
     }
   }

@@ -4,9 +4,9 @@
 // Design notes
 //  * BLIS-style blocking: the K dimension is split into kKc panels, rows
 //    into kMc blocks, and a kMr x kNr register tile is accumulated per
-//    micro-kernel call. Both operands are packed into contiguous panels
-//    first, so every trans_a/trans_b combination runs unit-stride inner
-//    loops — the packing absorbs the strides.
+//    micro-kernel call. Operands are packed into contiguous panels first,
+//    so every trans_a/trans_b combination runs unit-stride inner loops —
+//    the packing absorbs the strides.
 //  * Deterministic for any OpenMP thread count: parallelism is over
 //    (batch, row-block) tasks inside a K-panel, each output element is
 //    written by exactly one task, and its floating-point accumulation
@@ -14,13 +14,79 @@
 //    the thread count.
 //  * beta semantics follow BLAS: C = beta * C + op(A) op(B), and beta == 0
 //    never reads C, so the output may be uninitialized arena memory.
+//  * Inference fast paths (on by default, see SetGemmFastPaths): a
+//    no-trans A operand is consumed directly through strided row pointers
+//    instead of being packed (activations dominate packing time), and
+//    GEMMs under the parallel cutoff skip the arena plan and OpenMP
+//    region entirely. Both paths replay the packed kernels' per-element
+//    accumulation order exactly, so results stay bit-identical to the
+//    legacy all-packed path.
+//  * PackedPanels lets a caller pack a long-lived operand (a frozen
+//    checkpoint weight) once and reuse the panels across calls — the
+//    packed bytes are the same ones the on-the-fly path would produce,
+//    so prepacked GEMMs are bit-identical too. See src/tensor/prepack.h
+//    for the cache that serves them transparently.
 
 #ifndef DYHSL_TENSOR_GEMM_H_
 #define DYHSL_TENSOR_GEMM_H_
 
 #include <cstdint>
+#include <memory>
 
 namespace dyhsl::tensor {
+
+/// \brief A long-lived packed copy of one GEMM operand, laid out exactly
+/// as the blocked kernel's per-K-panel packing (PackA/PackB in gemm.cc)
+/// and heap-pinned (WorkspaceBypass) so it survives arena resets. Packed
+/// size is the operand rounded up to whole register tiles: ~= the operand
+/// bytes, plus tail padding.
+class PackedPanels {
+ public:
+  enum class Side : int { kA, kB };
+
+  /// \brief Packs op(B) — k x n after the optional transpose — of the
+  /// stored matrix `b` with leading dimension `ldb`.
+  static std::shared_ptr<const PackedPanels> PackBOperand(const float* b,
+                                                          int64_t ldb,
+                                                          bool trans,
+                                                          int64_t k,
+                                                          int64_t n);
+
+  /// \brief Packs op(A) — m x k after the optional transpose — of the
+  /// stored matrix `a` with leading dimension `lda`.
+  static std::shared_ptr<const PackedPanels> PackAOperand(const float* a,
+                                                          int64_t lda,
+                                                          bool trans,
+                                                          int64_t m,
+                                                          int64_t k);
+
+  Side side() const { return side_; }
+  bool trans() const { return trans_; }
+  int64_t k() const { return k_; }
+  /// n for a B-side pack, m for an A-side pack.
+  int64_t mn() const { return mn_; }
+  int64_t bytes() const {
+    return total_floats_ * static_cast<int64_t>(sizeof(float));
+  }
+
+  /// \name Kernel plumbing (used by BatchedGemmPrepackedInto)
+  /// @{
+  const float* data() const { return data_.get(); }
+  /// Floats between consecutive full K panels.
+  int64_t panel_stride() const { return panel_stride_; }
+  /// @}
+
+ private:
+  PackedPanels() = default;
+
+  Side side_ = Side::kB;
+  bool trans_ = false;
+  int64_t k_ = 0;
+  int64_t mn_ = 0;
+  int64_t panel_stride_ = 0;
+  int64_t total_floats_ = 0;
+  std::shared_ptr<float[]> data_;
+};
 
 /// \brief C (m x n, row-major, leading dimension ldc) = beta * C +
 /// op(A) op(B). op transposes when the matching flag is set; `lda`/`ldb`
@@ -38,6 +104,29 @@ void BatchedGemmInto(int64_t batch, bool trans_a, bool trans_b, int64_t m,
                      int64_t lda, const float* b, int64_t b_stride,
                      int64_t ldb, float beta, float* c, int64_t c_stride,
                      int64_t ldc);
+
+/// \brief BatchedGemmInto accepting optional prepacked operands. A non-null
+/// `pre_a`/`pre_b` must describe the matching shared operand (stride 0,
+/// same trans flag and op() dimensions, packed from the same bytes) and
+/// replaces its on-the-fly packing; results are bit-identical to the
+/// unpacked call. The raw pointer for a prepacked operand may be null.
+void BatchedGemmPrepackedInto(int64_t batch, bool trans_a, bool trans_b,
+                              int64_t m, int64_t n, int64_t k, const float* a,
+                              int64_t a_stride, int64_t lda,
+                              const PackedPanels* pre_a, const float* b,
+                              int64_t b_stride, int64_t ldb,
+                              const PackedPanels* pre_b, float beta, float* c,
+                              int64_t c_stride, int64_t ldc);
+
+/// \brief Enables/disables the inference fast paths (direct-A kernels and
+/// the small-size no-plan path) process-wide; returns the previous value.
+/// On by default. The legacy all-packed path produces bit-identical
+/// results — the toggle exists so benchmarks can measure the attributable
+/// win and property tests can compare the paths in one process.
+bool SetGemmFastPaths(bool enabled);
+
+/// \brief Current fast-path setting.
+bool GemmFastPathsEnabled();
 
 }  // namespace dyhsl::tensor
 

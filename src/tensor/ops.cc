@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/tensor/gemm.h"
+#include "src/tensor/prepack.h"
 #include "src/tensor/vecmath.h"
 
 #ifdef _OPENMP
@@ -400,13 +401,41 @@ MatMulDims ResolveMatMulDims(const Tensor& a, const Tensor& b, bool trans_a,
   return d;
 }
 
+// Prepacked-operand resolution: under an active PrepackLookupScope (the
+// serving paths), shared 2-D operands are looked up in the PrepackCache
+// and enrolled weights skip their packing entirely — bit-identical, since
+// the cached panels hold the same bytes the on-the-fly pack would write.
+// Training installs no scope and pays nothing here.
+struct PrepackedOperands {
+  std::shared_ptr<const PackedPanels> a;
+  std::shared_ptr<const PackedPanels> b;
+};
+
+PrepackedOperands LookupPrepacked(const Tensor& a, const Tensor& b,
+                                  bool trans_a, bool trans_b,
+                                  const MatMulDims& d) {
+  PrepackedOperands pre;
+  if (!PrepackLookupActive()) return pre;
+  PrepackCache& cache = PrepackCache::Instance();
+  if (d.b_stride == 0 && b.dim() == 2) {
+    pre.b = cache.Lookup(b.data(), PackedPanels::Side::kB, trans_b, d.k, d.n);
+  }
+  if (d.a_stride == 0 && a.dim() == 2) {
+    pre.a = cache.Lookup(a.data(), PackedPanels::Side::kA, trans_a, d.k, d.m);
+  }
+  return pre;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/false);
+  PrepackedOperands pre = LookupPrepacked(a, b, trans_a, trans_b, d);
   Tensor out({d.m, d.n});  // uninitialized: beta == 0 fully overwrites
-  GemmInto(trans_a, trans_b, d.m, d.n, d.k, a.data(), d.lda, b.data(), d.ldb,
-           /*beta=*/0.0f, out.data(), d.n);
+  BatchedGemmPrepackedInto(1, trans_a, trans_b, d.m, d.n, d.k, a.data(),
+                           /*a_stride=*/0, d.lda, pre.a.get(), b.data(),
+                           /*b_stride=*/0, d.ldb, pre.b.get(),
+                           /*beta=*/0.0f, out.data(), /*c_stride=*/0, d.n);
   return out;
 }
 
@@ -416,17 +445,22 @@ void MatMulInto(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
   DYHSL_CHECK_MSG(out->shape() == Shape({d.m, d.n}),
                   "MatMulInto output shape " + ShapeToString(out->shape()) +
                       " != " + ShapeToString({d.m, d.n}));
-  GemmInto(trans_a, trans_b, d.m, d.n, d.k, a.data(), d.lda, b.data(), d.ldb,
-           beta, out->data(), d.n);
+  PrepackedOperands pre = LookupPrepacked(a, b, trans_a, trans_b, d);
+  BatchedGemmPrepackedInto(1, trans_a, trans_b, d.m, d.n, d.k, a.data(),
+                           /*a_stride=*/0, d.lda, pre.a.get(), b.data(),
+                           /*b_stride=*/0, d.ldb, pre.b.get(), beta,
+                           out->data(), /*c_stride=*/0, d.n);
 }
 
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
                      bool trans_b) {
   MatMulDims d = ResolveMatMulDims(a, b, trans_a, trans_b, /*batched=*/true);
+  PrepackedOperands pre = LookupPrepacked(a, b, trans_a, trans_b, d);
   Tensor out({d.batch, d.m, d.n});
-  BatchedGemmInto(d.batch, trans_a, trans_b, d.m, d.n, d.k, a.data(),
-                  d.a_stride, d.lda, b.data(), d.b_stride, d.ldb,
-                  /*beta=*/0.0f, out.data(), d.m * d.n, d.n);
+  BatchedGemmPrepackedInto(d.batch, trans_a, trans_b, d.m, d.n, d.k,
+                           a.data(), d.a_stride, d.lda, pre.a.get(),
+                           b.data(), d.b_stride, d.ldb, pre.b.get(),
+                           /*beta=*/0.0f, out.data(), d.m * d.n, d.n);
   return out;
 }
 
@@ -437,9 +471,11 @@ void BatchedMatMulInto(const Tensor& a, const Tensor& b, bool trans_a,
                   "BatchedMatMulInto output shape " +
                       ShapeToString(out->shape()) + " != " +
                       ShapeToString({d.batch, d.m, d.n}));
-  BatchedGemmInto(d.batch, trans_a, trans_b, d.m, d.n, d.k, a.data(),
-                  d.a_stride, d.lda, b.data(), d.b_stride, d.ldb, beta,
-                  out->data(), d.m * d.n, d.n);
+  PrepackedOperands pre = LookupPrepacked(a, b, trans_a, trans_b, d);
+  BatchedGemmPrepackedInto(d.batch, trans_a, trans_b, d.m, d.n, d.k,
+                           a.data(), d.a_stride, d.lda, pre.a.get(),
+                           b.data(), d.b_stride, d.ldb, pre.b.get(), beta,
+                           out->data(), d.m * d.n, d.n);
 }
 
 void BatchedMatMulReduceInto(const Tensor& a, const Tensor& b, bool trans_a,

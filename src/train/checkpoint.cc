@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/graph/shard.h"
+#include "src/tensor/prepack.h"
 
 namespace dyhsl::train {
 namespace {
@@ -233,6 +234,9 @@ Status LoadCheckpoint(nn::Module* module, const std::string& path,
   }
   for (auto& [target, value] : staged) {
     target->mutable_value()->CopyDataFrom(value);
+    // Parameter storage was just overwritten in place: drop any prepacked
+    // panels keyed on it so a serving engine never multiplies stale weights.
+    tensor::PrepackCache::Instance().Invalidate(target->value().data());
   }
   if (meta != nullptr) *meta = file_meta;
   return Status::OK();
